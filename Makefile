@@ -1,0 +1,51 @@
+# noiselab build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench bench-tables bench-quick examples clean cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test ./... -cover
+
+# Full benchmark harness: every table, figure, and ablation.
+bench:
+	$(GO) test . -run xxx -bench . -benchmem -timeout 4h
+
+# Only the paper's tables/figures (skips ablations and micro-benches).
+bench-tables:
+	$(GO) test . -run xxx -bench 'BenchmarkTable|BenchmarkFigure' -benchtime 1x -timeout 4h
+
+# A fast smoke of the harness at reduced reps.
+bench-quick:
+	REPRO_SCALE=0.25 $(GO) test . -run xxx -bench 'BenchmarkTable1$$|BenchmarkTable3$$|BenchmarkFigure2$$' -benchtime 1x -timeout 1h
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/nbody-compare
+	$(GO) run ./examples/minife-mitigation
+	$(GO) run ./examples/schedbench-motivation
+
+# The artifacts the reproduction instructions ask for. The full bench
+# suite regenerates every table/figure and needs more than go test's
+# default 10-minute timeout.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem -timeout 3h ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

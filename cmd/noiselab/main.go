@@ -1,0 +1,123 @@
+// Command noiselab is the CLI for the noise-injection laboratory: it runs
+// single simulated executions, drives the three-stage injector pipeline
+// (collect → refine → generate → inject), and regenerates every table and
+// figure of the paper's evaluation.
+//
+// Usage:
+//
+//	noiselab <subcommand> [flags]
+//
+// Subcommands:
+//
+//	platforms            list platform presets
+//	workloads            list workloads
+//	run                  one simulated execution (optionally traced)
+//	baseline             repeated executions + summary statistics
+//	gen-config           injector stages 1+2: collect traces, refine, emit config JSON
+//	inject               injector stage 3: replay a config during repeated executions
+//	table1 .. table7     regenerate the paper's tables
+//	fig1 fig2            regenerate the motivation figures (box series)
+//	fig3 fig4 fig5       print design-figure artifacts (trace sample,
+//	                     refinement demo, config structure)
+//	shapecheck           quick run of Tables 3-5 + headline direction checks
+//	native-inject        best-effort replay of a config on THIS machine
+//	advise               benchmark all strategies and recommend one (§6)
+//	traces               analyze collected trace files (per-source stats)
+//	report               regenerate every table and figure into a directory
+//	timeline             export a run's full scheduling timeline (Chrome JSON)
+//	runlevel             baseline variability at runlevel 5 vs 3 (§5.1)
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "platforms":
+		err = cmdPlatforms()
+	case "workloads":
+		err = cmdWorkloads()
+	case "run":
+		err = cmdRun(args)
+	case "baseline":
+		err = cmdBaseline(args)
+	case "gen-config":
+		err = cmdGenConfig(args)
+	case "inject":
+		err = cmdInject(args)
+	case "table1":
+		err = cmdTable1(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "table3":
+		err = cmdTableN(args, 3, "nbody")
+	case "table4":
+		err = cmdTableN(args, 4, "babelstream")
+	case "table5":
+		err = cmdTableN(args, 5, "minife")
+	case "table6":
+		err = cmdTable6(args)
+	case "table7":
+		err = cmdTable7(args)
+	case "fig1":
+		err = cmdFig1(args)
+	case "fig2":
+		err = cmdFig2(args)
+	case "fig3":
+		err = cmdFig3(args)
+	case "fig4":
+		err = cmdFig4(args)
+	case "fig5":
+		err = cmdFig5(args)
+	case "shapecheck":
+		err = cmdShapeCheck(args)
+	case "native-inject":
+		err = cmdNativeInject(args)
+	case "advise":
+		err = cmdAdvise(args)
+	case "traces":
+		err = cmdTraces(args)
+	case "report":
+		err = cmdReport(args)
+	case "timeline":
+		err = cmdTimeline(args)
+	case "runlevel":
+		err = cmdRunlevel(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "noiselab: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noiselab %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `noiselab — reproducible performance evaluation under noise injection
+
+  noiselab platforms | workloads
+  noiselab run        -platform P -workload W -model M -strategy S [-seed N] [-trace out.txt]
+  noiselab baseline   -platform P -workload W -model M -strategy S [-reps N]
+  noiselab gen-config -platform P -workload W [-model M -strategy S] [-collect N]
+                      [-original] -o config.json
+  noiselab inject     -platform P -workload W -model M -strategy S -config config.json [-reps N]
+  noiselab table1 .. table7 [-scale F] [-seed N]
+  noiselab fig1 | fig2 [-reps N]
+  noiselab fig3 | fig4 | fig5
+  noiselab shapecheck [-scale F]
+
+Run 'noiselab <subcommand> -h' for subcommand flags.
+`)
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outCh <- string(data)
+	}()
+	cmdErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	if cmdErr != nil {
+		t.Fatalf("command failed: %v", cmdErr)
+	}
+	return out
+}
+
+func TestCmdPlatformsAndWorkloads(t *testing.T) {
+	out := captureStdout(t, cmdPlatforms)
+	for _, want := range []string{"intel-9700kf", "amd-9950x3d", "a64fx-reserved"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("platforms output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, cmdWorkloads)
+	for _, want := range []string{"nbody", "babelstream", "minife", "schedbench"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("workloads output missing %q", want)
+		}
+	}
+}
+
+func TestCmdRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	out := captureStdout(t, func() error {
+		return cmdRun([]string{"-workload", "schedbench", "-trace", path, "-seed", "3"})
+	})
+	if !strings.Contains(out, "exec time:") {
+		t.Fatalf("run output: %s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "irq_noise") {
+		t.Fatal("trace file has no events")
+	}
+}
+
+func TestCmdGenConfigInjectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cfg.json")
+	out := captureStdout(t, func() error {
+		return cmdGenConfig([]string{"-workload", "schedbench", "-collect", "6", "-o", cfgPath})
+	})
+	if !strings.Contains(out, "config:") {
+		t.Fatalf("gen-config output: %s", out)
+	}
+	out = captureStdout(t, func() error {
+		return cmdInject([]string{"-workload", "schedbench", "-config", cfgPath, "-reps", "2", "-v"})
+	})
+	if !strings.Contains(out, "injected:") || !strings.Contains(out, "replication accuracy") {
+		t.Fatalf("inject output: %s", out)
+	}
+}
+
+func TestCmdInjectRequiresConfig(t *testing.T) {
+	if err := cmdInject([]string{}); err == nil {
+		t.Fatal("inject without -config should error")
+	}
+}
+
+func TestCmdTracesAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.txt")
+	p2 := filepath.Join(dir, "b.txt")
+	for i, p := range []string{p1, p2} {
+		captureStdout(t, func() error {
+			return cmdRun([]string{"-workload", "schedbench", "-trace", p, "-seed", string(rune('1' + i))})
+		})
+	}
+	out := captureStdout(t, func() error { return cmdTraces([]string{"-top", "3", p1, p2}) })
+	for _, want := range []string{"per-source statistics", "worst case", "per-CPU noise", "delta refinement"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("traces output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdTracesNoArgs(t *testing.T) {
+	if err := cmdTraces([]string{}); err == nil {
+		t.Fatal("traces without files should error")
+	}
+}
+
+func TestCmdFig4Demo(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdFig4(nil) })
+	for _, want := range []string{"worst-case trace", "refined (delta) trace", "30.000 ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdFig3PrintsTraceSample(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFig3([]string{"-workload", "schedbench", "-n", "5"})
+	})
+	if !strings.Contains(out, "Figure 3") {
+		t.Fatalf("fig3 output:\n%s", out)
+	}
+}
+
+func TestNativeWorkloadBuilders(t *testing.T) {
+	for _, name := range []string{"nbody", "babelstream", "minife", "schedbench"} {
+		fn, desc, err := nativeWorkload(name, 0, 2)
+		if err != nil || fn == nil || desc == "" {
+			t.Fatalf("nativeWorkload(%q): %v", name, err)
+		}
+	}
+	if _, _, err := nativeWorkload("fft", 0, 2); err == nil {
+		t.Fatal("unknown native workload should error")
+	}
+	// A tiny one actually runs.
+	fn, _, err := nativeWorkload("schedbench", 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn()
+}
+
+func TestCmdTimeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tl.json")
+	out := captureStdout(t, func() error {
+		return cmdTimeline([]string{"-workload", "schedbench", "-o", path})
+	})
+	if !strings.Contains(out, "timeline ->") {
+		t.Fatalf("timeline output: %s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "thread_name") {
+		t.Fatal("timeline JSON missing metadata rows")
+	}
+}
+
+func TestCmdTable1TinyScale(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "t1.csv")
+	out := captureStdout(t, func() error {
+		return cmdTable1([]string{"-scale", "0.05", "-csv", csv})
+	})
+	for _, want := range []string{"Table 1", "nbody", "babelstream", "minife"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Tracing Off") {
+		t.Fatal("csv missing header")
+	}
+}
+
+func TestCmdAdviseTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdAdvise([]string{"-workload", "nbody", "-collect", "6", "-reps", "2",
+			"-worst-weight", "0.5"})
+	})
+	for _, want := range []string{"recommended:", "strategy", "baseline(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("advise output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdAdviseRejectsBadWeight(t *testing.T) {
+	if err := cmdAdvise([]string{"-worst-weight", "3", "-collect", "4", "-reps", "2"}); err == nil {
+		t.Fatal("bad objective weight should error")
+	}
+}
+
+func TestCmdRunlevelTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdRunlevel([]string{"-reps", "2", "-workloads", "nbody"})
+	})
+	for _, want := range []string{"runlevel 5", "rl5 mean", "nbody"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runlevel output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdBaselineTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdBaseline([]string{"-workload", "schedbench", "-reps", "3"})
+	})
+	if !strings.Contains(out, "mean=") || !strings.Contains(out, "sd=") {
+		t.Fatalf("baseline output: %s", out)
+	}
+}
+
+func TestCmdFig5Structure(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFig5([]string{"-workload", "schedbench", "-collect", "4"})
+	})
+	for _, want := range []string{"Figure 5", `"cpus"`, `"policy"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdGenConfigOriginalMerge(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "orig.json")
+	captureStdout(t, func() error {
+		return cmdGenConfig([]string{"-workload", "schedbench", "-collect", "5",
+			"-original", "-o", cfgPath})
+	})
+	f, err := os.Open(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := readConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Improved {
+		t.Fatal("-original should produce a non-improved config")
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/native"
+	"repro/internal/workloads"
+)
+
+// cmdNativeInject replays a generated noise configuration on THIS machine
+// (best effort: no RT priorities, no affinity — see internal/native) while
+// running a real Go workload kernel, and reports baseline vs injected wall
+// time.
+func cmdNativeInject(args []string) error {
+	fs := flag.NewFlagSet("native-inject", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "noise configuration JSON (from gen-config)")
+	reps := fs.Int("reps", 5, "repetitions")
+	workload := fs.String("workload", "nbody", "real kernel to run: nbody, babelstream, minife, schedbench")
+	threads := fs.Int("threads", runtime.NumCPU(), "workload threads")
+	size := fs.Int("size", 0, "problem size (0 = a ~100ms default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+	f, err := os.Open(*cfgPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := readConfig(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	r, err := native.NewReplayer(cfg)
+	if err != nil {
+		return err
+	}
+
+	fn, desc, err := nativeWorkload(*workload, *size, *threads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("native replay of %s (%d events, window %.3fs) around %s, %d reps\n",
+		*cfgPath, cfg.NumEvents(), cfg.Window.Seconds(), desc, *reps)
+	base, injected, err := r.Benchmark(fn, *reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline mean: %v\ninjected mean: %v (%+.1f%%)\n",
+		base.Round(time.Microsecond), injected.Round(time.Microsecond),
+		(float64(injected)/float64(base)-1)*100)
+	fmt.Println("note: best-effort replay (no SCHED_FIFO / affinity without root);")
+	fmt.Println("use the simulation for the paper's controlled methodology.")
+	return nil
+}
+
+// nativeWorkload builds a real Go kernel closure of roughly the requested
+// size.
+func nativeWorkload(name string, size, threads int) (func(), string, error) {
+	switch name {
+	case "nbody":
+		n := size
+		if n <= 0 {
+			n = 6144
+		}
+		nb := workloads.NewNBody(n, 1)
+		acc := make([][3]float64, n)
+		return func() { nb.Step(1e-4, threads, acc) },
+			fmt.Sprintf("nbody n=%d (%d threads)", n, threads), nil
+	case "babelstream":
+		n := size
+		if n <= 0 {
+			n = 1 << 22
+		}
+		st := workloads.NewStream(n)
+		return func() { st.RunAll(3, threads) },
+			fmt.Sprintf("babelstream n=%d x3 iters (%d threads)", n, threads), nil
+	case "minife":
+		dim := size
+		if dim <= 0 {
+			dim = 48
+		}
+		var mu sync.Mutex
+		return func() {
+				mu.Lock() // NewMiniFE allocates; serialize reps
+				m := workloads.NewMiniFE(dim, threads)
+				m.SolveCG(25, 0, threads)
+				mu.Unlock()
+			},
+			fmt.Sprintf("minife dim=%d cg=25 (%d threads)", dim, threads), nil
+	case "schedbench":
+		n := size
+		if n <= 0 {
+			n = 4096
+		}
+		sb := &workloads.SchedBench{N: n, Work: 3000, Imbalance: 1.0}
+		return func() { sb.Run(workloads.SchedDynamic, 4, threads) },
+			fmt.Sprintf("schedbench n=%d (%d threads)", n, threads), nil
+	default:
+		return nil, "", fmt.Errorf("unknown workload %q", name)
+	}
+}

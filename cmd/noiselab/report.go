@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/experiment"
+)
+
+// cmdReport regenerates the complete evaluation — Tables 1-7 and Figures
+// 1-2 — into a directory, as aligned text plus CSV. This is the one-shot
+// artifact generator behind EXPERIMENTS.md.
+func cmdReport(args []string) error {
+	fs, scale, seed := scaleFlags("report")
+	dir := fs.String("dir", "report", "output directory")
+	figReps := fs.Int("fig-reps", 20, "repetitions per figure box")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, t *repro.RenderTable) error {
+		txt := filepath.Join(*dir, name+".txt")
+		if err := os.WriteFile(txt, []byte(t.Text()), 0o644); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (+ .csv)\n", txt)
+		return nil
+	}
+
+	reps := repro.DefaultReps().Scale(*scale)
+
+	// Table 1.
+	intel, err := repro.NewPlatform(repro.Intel9700KF)
+	if err != nil {
+		return err
+	}
+	rows, err := repro.TracingOverhead(intel, []string{"nbody", "babelstream", "minife"}, reps.Baseline, *seed)
+	if err != nil {
+		return err
+	}
+	if err := write("table1", repro.RenderTable1(rows)); err != nil {
+		return err
+	}
+
+	// Table 2.
+	var baseResults []*repro.BaselineResult
+	for _, pname := range []string{repro.Intel9700KF, repro.AMD9950X3D} {
+		p, err := repro.NewPlatform(pname)
+		if err != nil {
+			return err
+		}
+		for _, w := range []string{"nbody", "babelstream", "minife"} {
+			res, err := (experiment.BaselineStudy{
+				Platform: p, Workload: w, Reps: reps.Baseline, Seed: *seed,
+			}).Run()
+			if err != nil {
+				return err
+			}
+			baseResults = append(baseResults, res)
+		}
+	}
+	if err := write("table2", repro.RenderTable2(baseResults)); err != nil {
+		return err
+	}
+
+	// Tables 3-5 (+6 aggregate).
+	var all []*repro.InjectionResult
+	for i, w := range []string{"nbody", "babelstream", "minife"} {
+		res, err := runInjectionStudy(w, *scale, *seed)
+		if err != nil {
+			return err
+		}
+		all = append(all, res)
+		if err := write(fmt.Sprintf("table%d", 3+i), repro.RenderInjectionTable(3+i, res)); err != nil {
+			return err
+		}
+	}
+	agg := repro.AggregateChange(all)
+	if err := write("table6", repro.RenderTable6(agg)); err != nil {
+		return err
+	}
+	checksPath := filepath.Join(*dir, "shape-checks.txt")
+	cf, err := os.Create(checksPath)
+	if err != nil {
+		return err
+	}
+	if err := repro.WriteChecks(cf, repro.CheckInjectionShape(agg)); err != nil {
+		cf.Close()
+		return err
+	}
+	cf.Close()
+	fmt.Printf("wrote %s\n", checksPath)
+
+	// Table 7.
+	entries, err := (repro.AccuracyStudy{
+		Cases: repro.PaperAccuracyCases(), Reps: reps, Seed: *seed, Improved: true,
+	}).Run()
+	if err != nil {
+		return err
+	}
+	if err := write("table7", repro.RenderTable7(entries)); err != nil {
+		return err
+	}
+
+	// Figures.
+	s1, err := repro.Figure1(*figReps, *seed)
+	if err != nil {
+		return err
+	}
+	if err := write("fig1", repro.RenderFigure(1, "schedbench exec time (ms), reserved vs w/o", s1)); err != nil {
+		return err
+	}
+	s2, err := repro.Figure2(*figReps, *seed)
+	if err != nil {
+		return err
+	}
+	return write("fig2", repro.RenderFigure(2, "Babelstream dot exec time (ms) vs threads", s2))
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/cpusched"
+	"repro/internal/mitigate"
+	"repro/internal/noise"
+	"repro/internal/omprt"
+	"repro/internal/sim"
+	"repro/internal/syclrt"
+	"repro/internal/trace"
+)
+
+// cmdTimeline runs one simulated execution with the full-timeline recorder
+// (every task interval, not just noise) and writes a Chrome Trace Event
+// Format file, viewable at chrome://tracing or ui.perfetto.dev. It drives
+// the scheduler directly since the timeline recorder replaces the normal
+// tracer hook.
+func cmdTimeline(args []string) error {
+	c := newCommon("timeline")
+	out := c.fs.String("o", "timeline.json", "output Trace Event Format file")
+	cfgPath := c.fs.String("config", "", "optionally replay this noise config during the run")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	p, w, strat, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	plan, err := mitigate.Apply(strat, p.Topo)
+	if err != nil {
+		return err
+	}
+
+	eng := sim.NewEngine()
+	sched := cpusched.New(eng, p.Topo, p.SchedOpt)
+	defer sched.Shutdown()
+	rec := trace.NewTimelineRecorder(0)
+	sched.SetTracer(rec)
+	rng := sim.NewRNG(*c.seed)
+	noise.Attach(sched, p.Noise, rng.Stream("noise"), sim.Time(1)<<60)
+
+	done, err := startModel(sched, plan, *c.model, w)
+	if err != nil {
+		return err
+	}
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			return err
+		}
+		cfg, err := readConfig(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		r, err := newSimReplayer(sched, cfg)
+		if err != nil {
+			return err
+		}
+		r.Start()
+		done.OnDone(func() { r.StopAll() })
+	}
+	eng.RunWhile(func() bool { return !done.Done() })
+
+	fmt.Printf("exec time: %.6f s, %d timeline intervals\n", eng.Now().Seconds(), rec.Len())
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("timeline -> %s (open in chrome://tracing or ui.perfetto.dev)\n", *out)
+	return nil
+}
+
+// startModel launches the workload body on the requested runtime model and
+// returns its completion task.
+func startModel(s *cpusched.Scheduler, plan *mitigate.Plan, model string, w repro.Workload) (*cpusched.Task, error) {
+	switch model {
+	case "omp":
+		return startOMP(s, plan, w), nil
+	case "sycl":
+		return startSYCL(s, plan, w), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func startOMP(s *cpusched.Scheduler, plan *mitigate.Plan, w repro.Workload) *cpusched.Task {
+	team := omprt.Start(s, plan, omprt.DefaultConfig(), w.Body())
+	return team.Master()
+}
+
+func startSYCL(s *cpusched.Scheduler, plan *mitigate.Plan, w repro.Workload) *cpusched.Task {
+	q := syclrt.Start(s, plan, syclrt.DefaultConfig(), w.Body())
+	return q.Host()
+}
+
+func newSimReplayer(s *cpusched.Scheduler, cfg *core.Config) (*core.Replayer, error) {
+	return core.NewReplayer(s, cfg)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+// cmdTraces analyzes one or more osnoise-style trace files (from
+// `noiselab run -trace`): per-source statistics, per-CPU noise totals, and
+// — with two or more traces — the average profile and worst case, i.e. the
+// inputs of injector stage 2.
+func cmdTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	top := fs.Int("top", 15, "show the top N sources by total duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: noiselab traces [-top N] trace.txt [trace2.txt ...]")
+	}
+	var traces []*repro.Trace
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := repro.ReadTraceText(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		traces = append(traces, tr)
+		fmt.Printf("%s: exec %.6fs, %d events, %.3f ms total noise\n",
+			path, tr.ExecTime.Seconds(), len(tr.Events), float64(tr.TotalNoise())/1e6)
+	}
+
+	profile := repro.BuildProfile(traces)
+	fmt.Printf("\nper-source statistics across %d trace(s):\n", len(traces))
+	fmt.Printf("%-14s %-24s %10s %12s %12s\n", "class", "source", "count", "mean-dur", "total")
+	sources := profile.SortedSources()
+	sort.SliceStable(sources, func(i, j int) bool { return sources[i].TotalDur > sources[j].TotalDur })
+	if len(sources) > *top {
+		sources = sources[:*top]
+	}
+	for _, s := range sources {
+		fmt.Printf("%-14s %-24s %10d %11.2fus %11.3fms\n",
+			s.Key.Class, s.Key.Source, s.Count,
+			float64(s.MeanDur())/1e3, float64(s.TotalDur)/1e6)
+	}
+
+	// Per-CPU totals of the first trace (or the worst, if several).
+	target := traces[0]
+	if len(traces) > 1 {
+		worst, wi, err := repro.WorstCase(traces)
+		if err != nil {
+			return err
+		}
+		target = worst
+		fmt.Printf("\nworst case: %s (exec %.6fs)\n", paths[wi], worst.ExecTime.Seconds())
+		refined := repro.Refine(worst, profile)
+		fmt.Printf("after delta refinement: %d -> %d events, %.3f -> %.3f ms noise\n",
+			len(worst.Events), len(refined.Events),
+			float64(worst.TotalNoise())/1e6, float64(refined.TotalNoise())/1e6)
+	}
+	fmt.Println("\nper-CPU noise:")
+	for _, c := range target.PerCPU() {
+		fmt.Printf("  cpu %3d: %9.3f ms total over %d events; largest %s/%s %.3f ms\n",
+			c.CPU, float64(c.Total)/1e6, c.Count,
+			c.Largest.Class, c.Largest.Source, float64(c.Largest.Duration)/1e6)
+	}
+	if ov := target.Overlaps(); len(ov) > 0 {
+		fmt.Printf("\n%d same-CPU overlapping event pairs (handled by the config merge step)\n", len(ov))
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: the noise
+// injector. It covers the three stages of §4:
+//
+//  1. System trace collection — orchestrated by the experiment package,
+//     which produces trace.Trace values from traced executions.
+//  2. Noise configuration generation — Refine subtracts the average
+//     ("inherent") system noise from the worst-case trace (§4.2, Figure 4),
+//     and Generate maps the refined delta noise to a per-logical-CPU
+//     configuration file (Figure 5) with scheduling policies assigned by
+//     event class. Two overlap-merging variants exist: the original
+//     pessimistic merge (which §5.2 reports as compromising one trace) and
+//     the improved class-separated merge with boosted thread-noise
+//     priority.
+//  3. Noise injection during workload execution — Replay spawns one
+//     unpinned injector process per configured logical CPU, each following
+//     Listing 1: synchronize, switch policy as needed, sleep until each
+//     event's start, occupy a CPU for its duration, and terminate early
+//     when the workload completes.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NoiseEvent is one injected noise event in a configuration file.
+type NoiseEvent struct {
+	// Start is the event's start time relative to workload start.
+	Start sim.Time `json:"start"`
+	// Duration is how long the injector occupies a CPU.
+	Duration sim.Time `json:"duration"`
+	// MemBytes, when positive, makes this a memory-interference event:
+	// instead of spinning for Duration, the injector streams this many
+	// bytes through the memory system, contending for machine bandwidth.
+	// This implements the extension the paper lists as future work (§7:
+	// "extending the noise injector to capture a broader range of noise
+	// types, including I/O- and memory-related interference"). Duration
+	// is then advisory (the expected occupancy at full bandwidth).
+	MemBytes float64 `json:"mem_bytes,omitempty"`
+	// Policy is "SCHED_FIFO" (irq/softirq noise) or "SCHED_OTHER"
+	// (thread noise), per §4.2's class-to-policy mapping.
+	Policy string `json:"policy"`
+	// RTPrio is the real-time priority for SCHED_FIFO events.
+	RTPrio int `json:"rtprio,omitempty"`
+	// Nice is the niceness for SCHED_OTHER events; the improved injector
+	// boosts thread noise with a negative value.
+	Nice int `json:"nice,omitempty"`
+	// Class and Source identify the original trace event(s).
+	Class  cpusched.NoiseClass `json:"class"`
+	Source string              `json:"source"`
+}
+
+// End returns the event end time.
+func (e NoiseEvent) End() sim.Time { return e.Start + e.Duration }
+
+// CPUEvents is the event list for one logical CPU.
+type CPUEvents struct {
+	CPU    int          `json:"cpu"`
+	Events []NoiseEvent `json:"events"`
+}
+
+// Config is the generated noise configuration (Figure 5): one event list
+// per logical CPU observed in the refined worst-case trace, plus metadata
+// identifying the trace it came from.
+type Config struct {
+	Platform string `json:"platform"`
+	Workload string `json:"workload"`
+	Model    string `json:"model"`
+	Strategy string `json:"strategy"`
+	// Seed is the seed of the worst-case trace run.
+	Seed uint64 `json:"seed"`
+	// Window is the worst-case execution time; injection covers [0,
+	// Window) relative to workload start.
+	Window sim.Time `json:"window"`
+	// AnomalyExec is the execution time of the worst-case run, used by
+	// the accuracy metric of §5.2.
+	AnomalyExec sim.Time `json:"anomaly_exec"`
+	// Improved records whether the improved merge generated this config.
+	Improved bool `json:"improved"`
+	// CPUs holds the per-CPU event lists, ordered by CPU id.
+	CPUs []CPUEvents `json:"cpus"`
+}
+
+// TotalNoise returns the summed duration across all CPUs.
+func (c *Config) TotalNoise() sim.Time {
+	var total sim.Time
+	for _, ce := range c.CPUs {
+		for _, e := range ce.Events {
+			total += e.Duration
+		}
+	}
+	return total
+}
+
+// NumEvents returns the total event count.
+func (c *Config) NumEvents() int {
+	n := 0
+	for _, ce := range c.CPUs {
+		n += len(ce.Events)
+	}
+	return n
+}
+
+// WriteJSON serializes the configuration.
+func (c *Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadConfigJSON parses a configuration.
+func ReadConfigJSON(r io.Reader) (*Config, error) {
+	c := &Config{}
+	if err := json.NewDecoder(r).Decode(c); err != nil {
+		return nil, fmt.Errorf("core: decoding config: %w", err)
+	}
+	return c, nil
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("core: config window %v must be positive", c.Window)
+	}
+	for _, ce := range c.CPUs {
+		if ce.CPU < 0 {
+			return fmt.Errorf("core: negative cpu %d", ce.CPU)
+		}
+		last := sim.Time(-1)
+		for _, e := range ce.Events {
+			if e.Duration <= 0 && e.MemBytes <= 0 {
+				return fmt.Errorf("core: cpu %d: event needs a positive duration or memory volume", ce.CPU)
+			}
+			if e.MemBytes < 0 {
+				return fmt.Errorf("core: cpu %d: negative memory volume", ce.CPU)
+			}
+			if e.Start < last {
+				return fmt.Errorf("core: cpu %d: events not sorted by start", ce.CPU)
+			}
+			if e.Policy != "SCHED_FIFO" && e.Policy != "SCHED_OTHER" {
+				return fmt.Errorf("core: cpu %d: bad policy %q", ce.CPU, e.Policy)
+			}
+			last = e.Start
+		}
+	}
+	return nil
+}
+
+// policyOf maps an event class to its scheduling policy per §4.2: events
+// labelled thread_noise use SCHED_OTHER; irq_noise and softirq_noise map to
+// SCHED_FIFO.
+func policyOf(class cpusched.NoiseClass) (policy string, rtprio int) {
+	if class == cpusched.ClassThread {
+		return "SCHED_OTHER", 0
+	}
+	return "SCHED_FIFO", 50
+}
+
+// sortEventsByStart orders events by start time, breaking ties by source
+// for determinism.
+func sortEventsByStart(evs []NoiseEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Source < evs[j].Source
+	})
+}
+
+// tracesByCPU groups a trace's events per CPU.
+func tracesByCPU(tr *trace.Trace) map[int][]trace.Event {
+	byCPU := make(map[int][]trace.Event)
+	for _, e := range tr.Events {
+		byCPU[e.CPU] = append(byCPU[e.CPU], e)
+	}
+	return byCPU
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+)
+
+// IONoiseSpec parameterizes synthetic I/O interference — the other §7
+// future-work noise type. An I/O storm is what a busy block device inflicts
+// on its housing CPUs: bursts of block-layer interrupts (irq context, which
+// preempts even SCHED_FIFO and cannot be absorbed by housekeeping cores,
+// since device interrupts are steered to fixed CPUs) followed by
+// writeback/flush worker activity (ordinary thread noise).
+type IONoiseSpec struct {
+	// Window is the injection window.
+	Window sim.Time
+	// CPUs are the logical CPUs the device's interrupts are steered to.
+	CPUs []int
+	// StormPeriod separates storm starts on each CPU.
+	StormPeriod sim.Time
+	// IRQsPerStorm is the number of completion interrupts per storm.
+	IRQsPerStorm int
+	// IRQDur is the duration of one interrupt.
+	IRQDur sim.Time
+	// IRQGap separates interrupts within a storm.
+	IRQGap sim.Time
+	// FlushDur is the writeback kworker burst that follows each storm
+	// (0 disables it).
+	FlushDur sim.Time
+}
+
+// DefaultIONoise returns a moderate storm: ~200 interrupts of 6 us every
+// 50 ms plus a 300 us flush, roughly a saturated NVMe queue's profile.
+func DefaultIONoise(window sim.Time, cpus []int) IONoiseSpec {
+	return IONoiseSpec{
+		Window:       window,
+		CPUs:         cpus,
+		StormPeriod:  50 * sim.Millisecond,
+		IRQsPerStorm: 200,
+		IRQDur:       6 * sim.Microsecond,
+		IRQGap:       50 * sim.Microsecond,
+		FlushDur:     300 * sim.Microsecond,
+	}
+}
+
+// Validate checks the spec.
+func (s IONoiseSpec) Validate() error {
+	switch {
+	case s.Window <= 0:
+		return fmt.Errorf("core: io noise window must be positive")
+	case len(s.CPUs) == 0:
+		return fmt.Errorf("core: io noise needs at least one target CPU")
+	case s.StormPeriod <= 0:
+		return fmt.Errorf("core: io noise period must be positive")
+	case s.IRQsPerStorm <= 0:
+		return fmt.Errorf("core: io noise needs interrupts per storm")
+	case s.IRQDur <= 0:
+		return fmt.Errorf("core: io noise irq duration must be positive")
+	case s.IRQGap < 0 || s.FlushDur < 0:
+		return fmt.Errorf("core: io noise gaps must be non-negative")
+	}
+	for _, c := range s.CPUs {
+		if c < 0 {
+			return fmt.Errorf("core: io noise cpu %d invalid", c)
+		}
+	}
+	return nil
+}
+
+// IORunner injects the storms directly (interrupts are not schedulable
+// entities, so this runs beside a Config replayer rather than through it).
+type IORunner struct {
+	s    *cpusched.Scheduler
+	spec IONoiseSpec
+	// Storms counts storms started.
+	Storms int
+	stop   bool
+}
+
+// NewIORunner validates and prepares an I/O noise runner.
+func NewIORunner(s *cpusched.Scheduler, spec IONoiseSpec) (*IORunner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &IORunner{s: s, spec: spec}, nil
+}
+
+// Start schedules the storms from the current simulated instant.
+func (r *IORunner) Start() {
+	base := r.s.Now()
+	for i, cpu := range r.spec.CPUs {
+		cpu := cpu
+		// Stagger CPUs across the period.
+		phase := sim.Time(int64(r.spec.StormPeriod) * int64(i) / int64(len(r.spec.CPUs)))
+		r.scheduleStorm(cpu, base+phase, base+r.spec.Window)
+	}
+}
+
+// Stop cancels future storms (already-started interrupts finish).
+func (r *IORunner) Stop() { r.stop = true }
+
+func (r *IORunner) scheduleStorm(cpu int, at, end sim.Time) {
+	if at >= end {
+		return
+	}
+	eng := r.s.Engine()
+	eng.At(at, func() {
+		if r.stop {
+			return
+		}
+		r.Storms++
+		for k := 0; k < r.spec.IRQsPerStorm; k++ {
+			k := k
+			off := sim.Time(k) * (r.spec.IRQDur + r.spec.IRQGap)
+			eng.After(off, func() {
+				if !r.stop {
+					r.s.InjectIRQ(cpu, cpusched.ClassIRQ, "nvme0q1:130", r.spec.IRQDur)
+				}
+			})
+		}
+		if r.spec.FlushDur > 0 {
+			flush := r.spec.FlushDur
+			cycles := r.s.Topology().CyclesPerNs()
+			r.s.Spawn(cpusched.TaskSpec{
+				Name:   "flush",
+				Source: fmt.Sprintf("kworker/u%d:flush", cpu),
+				Kind:   cpusched.KindInjector,
+			}, func(c *cpusched.Ctx) { c.Compute(float64(flush) * cycles) })
+		}
+		r.scheduleStorm(cpu, at+r.spec.StormPeriod, end)
+	})
+}

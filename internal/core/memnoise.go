@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+)
+
+// MemoryNoiseSpec parameterizes a synthetic memory-interference
+// configuration: periodic bursts of memory traffic from a number of
+// concurrent hog threads. It implements the injector extension the paper's
+// §7 proposes for systems whose worst cases include memory activity, which
+// the CPU-occupation injector cannot reproduce (§6 notes the tested worst
+// cases "contained minimal memory activity").
+type MemoryNoiseSpec struct {
+	// Window is the injection window (typically the worst-case exec).
+	Window sim.Time
+	// Workers is the number of concurrent hog threads (each gets its own
+	// per-CPU event list, so the replayer spawns one process each).
+	Workers int
+	// Period is the burst repetition interval.
+	Period sim.Time
+	// BurstBytes is the memory volume streamed per worker per burst.
+	BurstBytes float64
+	// Source labels the events in traces/configs.
+	Source string
+}
+
+// Validate checks the spec.
+func (s MemoryNoiseSpec) Validate() error {
+	switch {
+	case s.Window <= 0:
+		return fmt.Errorf("core: memory noise window must be positive")
+	case s.Workers <= 0:
+		return fmt.Errorf("core: memory noise needs at least one worker")
+	case s.Period <= 0:
+		return fmt.Errorf("core: memory noise period must be positive")
+	case s.BurstBytes <= 0:
+		return fmt.Errorf("core: memory noise burst volume must be positive")
+	}
+	return nil
+}
+
+// Build generates a memory-interference Config. Events carry MemBytes, so
+// the replayer streams traffic instead of spinning; they run SCHED_OTHER
+// (memory hogs are ordinary threads).
+func (s MemoryNoiseSpec) Build() (*Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	src := s.Source
+	if src == "" {
+		src = "memhog"
+	}
+	cfg := &Config{
+		Workload:    "synthetic-memory-noise",
+		Window:      s.Window,
+		AnomalyExec: s.Window,
+		Improved:    true,
+	}
+	for w := 0; w < s.Workers; w++ {
+		ce := CPUEvents{CPU: w}
+		// Stagger workers across the period to avoid lockstep bursts.
+		phase := sim.Time(int64(s.Period) * int64(w) / int64(s.Workers))
+		for start := phase; start < s.Window; start += s.Period {
+			ce.Events = append(ce.Events, NoiseEvent{
+				Start:    start,
+				Duration: 0,
+				MemBytes: s.BurstBytes,
+				Policy:   "SCHED_OTHER",
+				Class:    cpusched.ClassThread,
+				Source:   fmt.Sprintf("%s/%d", src, w),
+			})
+		}
+		cfg.CPUs = append(cfg.CPUs, ce)
+	}
+	return cfg, nil
+}

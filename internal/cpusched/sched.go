@@ -1,0 +1,819 @@
+package cpusched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Options tunes scheduler behaviour. The zero value is usable; Defaults
+// fills in Linux-flavoured values.
+type Options struct {
+	// Slice is the fair-class timeslice before round-robin rotation.
+	Slice sim.Time
+	// WakeupGranularity damps wakeup preemption between fair tasks.
+	WakeupGranularity sim.Time
+	// MigrationCost is the cache-warmup penalty charged when a task
+	// resumes on a different CPU, expressed as nanoseconds of extra work.
+	MigrationCost sim.Time
+	// BalanceInterval is the period of idle load balancing; 0 disables it.
+	BalanceInterval sim.Time
+	// RTThrottle enables the Linux RT fail-safe limiting FIFO tasks to
+	// RTRuntime per RTPeriod per CPU. The paper's injector disables it.
+	RTThrottle bool
+	RTRuntime  sim.Time
+	RTPeriod   sim.Time
+	// TraceOverhead is CPU time stolen from the interrupted CPU per
+	// recorded trace event when a tracer is attached (Table 1).
+	TraceOverhead sim.Time
+}
+
+// Defaults returns Linux-flavoured scheduler options.
+func Defaults() Options {
+	return Options{
+		Slice:             3 * sim.Millisecond,
+		WakeupGranularity: 1 * sim.Millisecond,
+		MigrationCost:     20 * sim.Microsecond,
+		BalanceInterval:   4 * sim.Millisecond,
+		RTThrottle:        false,
+		RTRuntime:         950 * sim.Millisecond,
+		RTPeriod:          1000 * sim.Millisecond,
+		TraceOverhead:     1500, // ns per recorded event (ring-buffer write + clock reads)
+	}
+}
+
+// Hook receives scheduling events, e.g. for the osnoise-style tracer.
+type Hook interface {
+	// TaskRan reports that task t occupied cpu for [start, end).
+	TaskRan(cpu int, t *Task, start, end sim.Time)
+	// IRQRan reports an interrupt occupying cpu for [start, end).
+	IRQRan(cpu int, class NoiseClass, source string, start, end sim.Time)
+}
+
+type pendingIRQ struct {
+	class  NoiseClass
+	source string
+	dur    sim.Time
+}
+
+type cpuState struct {
+	id   int
+	curr *Task
+	fifo []*Task // runnable FIFO tasks
+	fair []*Task // runnable fair tasks
+
+	minVruntime float64
+
+	inIRQ    bool
+	irqStart sim.Time
+	irqQ     []pendingIRQ
+
+	// pendingSteal is accumulated tracing overhead not yet charged to a
+	// running task on this CPU.
+	pendingSteal sim.Time
+
+	sliceTimer *sim.Timer
+
+	// RT throttling state.
+	rtWindowStart sim.Time
+	rtUsed        sim.Time
+	rtThrottled   bool
+	throttleTimer *sim.Timer
+}
+
+func (c *cpuState) queued() int { return len(c.fifo) + len(c.fair) }
+
+func (c *cpuState) idle() bool { return c.curr == nil && c.queued() == 0 }
+
+// Scheduler simulates the OS CPU scheduler for one machine.
+type Scheduler struct {
+	eng   *sim.Engine
+	topo  *machine.Topology
+	opt   Options
+	cpus  []*cpuState
+	tasks []*Task
+
+	tracer Hook
+
+	memStreams int
+	nextID     int
+	seq        uint64
+	liveTasks  int
+
+	balanceTimer *sim.Timer
+
+	// kindTime accumulates CPU time per logical CPU per task kind, for
+	// attribution analyses (e.g. how much injected noise a housekeeping
+	// core absorbed). Indexed [cpu][kind].
+	kindTime [][4]sim.Time
+	// irqTime accumulates interrupt-context time per logical CPU.
+	irqTime []sim.Time
+
+	// ContextSwitches counts dispatches, for diagnostics.
+	ContextSwitches uint64
+}
+
+// New creates a scheduler for the given machine.
+func New(eng *sim.Engine, topo *machine.Topology, opt Options) *Scheduler {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Scheduler{eng: eng, topo: topo, opt: opt}
+	n := topo.NumCPUs()
+	s.cpus = make([]*cpuState, n)
+	for i := range s.cpus {
+		s.cpus[i] = &cpuState{id: i}
+	}
+	s.kindTime = make([][4]sim.Time, n)
+	s.irqTime = make([]sim.Time, n)
+	return s
+}
+
+// CPUTimeOf returns the accumulated CPU time of tasks of the given kind on
+// one logical CPU.
+func (s *Scheduler) CPUTimeOf(cpu int, kind Kind) sim.Time {
+	if cpu < 0 || cpu >= len(s.kindTime) || kind < 0 || int(kind) >= 4 {
+		return 0
+	}
+	return s.kindTime[cpu][kind]
+}
+
+// KindTotal returns the machine-wide CPU time consumed by tasks of a kind.
+func (s *Scheduler) KindTotal(kind Kind) sim.Time {
+	var total sim.Time
+	for cpu := range s.kindTime {
+		total += s.CPUTimeOf(cpu, kind)
+	}
+	return total
+}
+
+// IRQTime returns the interrupt-context time accumulated on a CPU.
+func (s *Scheduler) IRQTime(cpu int) sim.Time {
+	if cpu < 0 || cpu >= len(s.irqTime) {
+		return 0
+	}
+	return s.irqTime[cpu]
+}
+
+// Engine returns the underlying simulation engine.
+func (s *Scheduler) Engine() *sim.Engine { return s.eng }
+
+// Topology returns the machine topology.
+func (s *Scheduler) Topology() *machine.Topology { return s.topo }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() sim.Time { return s.eng.Now() }
+
+// SetTracer attaches a tracing hook. Recorded events steal
+// Options.TraceOverhead of CPU time from the affected CPU, modelling the
+// tracing overhead the paper quantifies in Table 1.
+func (s *Scheduler) SetTracer(h Hook) { s.tracer = h }
+
+// Tasks returns all spawned tasks.
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// Spawn creates a task and makes it runnable immediately.
+func (s *Scheduler) Spawn(spec TaskSpec, body func(*Ctx)) *Task {
+	if body == nil {
+		panic("cpusched: Spawn with nil body")
+	}
+	aff := spec.Affinity.And(machine.AllCPUs(s.topo.NumCPUs()))
+	if aff.Empty() {
+		aff = machine.AllCPUs(s.topo.NumCPUs())
+	}
+	src := spec.Source
+	if src == "" {
+		src = spec.Name
+	}
+	s.nextID++
+	t := &Task{
+		ID:         s.nextID,
+		Name:       spec.Name,
+		Source:     src,
+		Kind:       spec.Kind,
+		policy:     spec.Policy,
+		rtprio:     spec.RTPrio,
+		nice:       spec.Nice,
+		affinity:   aff,
+		state:      StateNew,
+		cpu:        -1,
+		lastRunCPU: -1,
+		sched:      s,
+		body:       body,
+		reqCh:      make(chan request),
+		resumeCh:   make(chan struct{}),
+		killCh:     make(chan struct{}),
+		seg:        segment{kind: segNone},
+	}
+	s.tasks = append(s.tasks, t)
+	s.liveTasks++
+	if s.opt.BalanceInterval > 0 && s.balanceTimer == nil {
+		s.balanceTimer = s.eng.After(s.opt.BalanceInterval, s.balanceTick)
+	}
+	s.wake(t)
+	return t
+}
+
+// Kill forcefully terminates a task. Its body goroutine unwinds and exits.
+func (s *Scheduler) Kill(t *Task) {
+	if t.state == StateDone {
+		return
+	}
+	if t.bar != nil {
+		t.bar.drop(t)
+		t.bar = nil
+	}
+	if t.state == StateRunning {
+		s.undispatch(t, StateDone)
+		s.resched(s.cpus[t.cpu])
+	} else {
+		s.removeQueued(t)
+		s.cancelTimers(t)
+		t.state = StateDone
+	}
+	if t.started {
+		close(t.killCh)
+	}
+	s.finishCallbacks(t)
+}
+
+// Shutdown kills every unfinished task, releasing their goroutines. Call it
+// at the end of a simulation run.
+func (s *Scheduler) Shutdown() {
+	for _, t := range s.tasks {
+		s.Kill(t)
+	}
+	if s.balanceTimer != nil {
+		s.balanceTimer.Cancel()
+	}
+}
+
+func (s *Scheduler) finishCallbacks(t *Task) {
+	s.liveTasks--
+	cbs := t.onDone
+	t.onDone = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// ---- coroutine handshake ----
+
+// fetchNext resumes the task body until it issues its next request.
+func (s *Scheduler) fetchNext(t *Task) request {
+	if !t.started {
+		t.started = true
+		go t.run()
+	} else {
+		t.resumeCh <- struct{}{}
+	}
+	return <-t.reqCh
+}
+
+// ---- rate model and accounting ----
+
+func (s *Scheduler) siblingBusy(cpu int) bool {
+	sib := s.topo.Sibling(cpu)
+	if sib < 0 {
+		return false
+	}
+	c := s.cpus[sib]
+	return c.curr != nil || c.inIRQ
+}
+
+// currentRate returns the progress rate (demand units per ns) of a running
+// task on its CPU right now.
+func (s *Scheduler) currentRate(t *Task) float64 {
+	c := s.cpus[t.cpu]
+	if c.inIRQ {
+		return 0
+	}
+	switch t.seg.kind {
+	case segCompute, segSpin:
+		r := s.topo.CyclesPerNs()
+		if s.siblingBusy(t.cpu) {
+			r *= s.topo.SMTFactor
+		}
+		return r
+	case segMemory:
+		return s.topo.MemRate(s.memStreams)
+	default:
+		return 0
+	}
+}
+
+// account charges elapsed running time against the task's remaining demand
+// and its vruntime.
+func (s *Scheduler) account(t *Task) {
+	now := s.eng.Now()
+	if t.state == StateRunning && now > t.lastAccount {
+		el := now - t.lastAccount
+		t.remaining -= float64(el) * t.rate
+		t.CPUTime += el
+		if t.cpu >= 0 && int(t.Kind) < 4 {
+			s.kindTime[t.cpu][t.Kind] += el
+		}
+		if t.policy == PolicyOther {
+			t.vruntime += float64(el) * 1024 / t.weight()
+		} else if s.opt.RTThrottle {
+			s.cpus[t.cpu].rtUsed += el
+		}
+	}
+	t.lastAccount = now
+}
+
+// refresh recomputes a running task's rate and (re)schedules its segment
+// completion, folding in any pending tracing overhead on its CPU.
+func (s *Scheduler) refresh(t *Task) {
+	if t.state != StateRunning {
+		return
+	}
+	s.account(t)
+	t.rate = s.currentRate(t)
+	if t.completion != nil {
+		t.completion.Cancel()
+		t.completion = nil
+	}
+	if t.seg.kind == segSpin || t.rate <= 0 {
+		return // unbounded or paused: completes via external event
+	}
+	if c := s.cpus[t.cpu]; c.pendingSteal > 0 {
+		t.remaining += float64(c.pendingSteal) * t.rate
+		c.pendingSteal = 0
+	}
+	var d sim.Time
+	if t.remaining > 0 {
+		d = sim.Time(math.Ceil(t.remaining / t.rate))
+	}
+	tt := t
+	t.completion = s.eng.After(d, func() { s.onSegmentDone(tt) })
+}
+
+func (s *Scheduler) cancelTimers(t *Task) {
+	if t.completion != nil {
+		t.completion.Cancel()
+		t.completion = nil
+	}
+	if t.wakeTimer != nil {
+		t.wakeTimer.Cancel()
+		t.wakeTimer = nil
+	}
+}
+
+func (s *Scheduler) setStreamActive(t *Task, active bool) {
+	if t.streamActive == active {
+		return
+	}
+	t.streamActive = active
+	if active {
+		s.memStreams++
+	} else {
+		s.memStreams--
+	}
+	s.recalcMemStreams()
+}
+
+func (s *Scheduler) recalcMemStreams() {
+	for _, c := range s.cpus {
+		if c.curr != nil && c.curr.seg.kind == segMemory {
+			s.refresh(c.curr)
+		}
+	}
+}
+
+// ---- queue management ----
+
+func (s *Scheduler) removeQueued(t *Task) {
+	if t.state != StateRunnable || t.cpu < 0 {
+		return
+	}
+	c := s.cpus[t.cpu]
+	c.fifo = removeTask(c.fifo, t)
+	c.fair = removeTask(c.fair, t)
+}
+
+func removeTask(q []*Task, t *Task) []*Task {
+	for i, x := range q {
+		if x == t {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// selectCPU implements wake-up placement: previous CPU if idle, then a
+// fully idle core, then any idle CPU, then the least-loaded allowed CPU.
+func (s *Scheduler) selectCPU(t *Task) *cpuState {
+	allowed := t.affinity
+	if t.cpu >= 0 && allowed.Has(t.cpu) && s.cpus[t.cpu].idle() {
+		return s.cpus[t.cpu]
+	}
+	var fullIdle, anyIdle, least *cpuState
+	leastLoad := math.MaxInt32
+	for _, cpu := range allowed.List() {
+		c := s.cpus[cpu]
+		if c.idle() {
+			if anyIdle == nil {
+				anyIdle = c
+			}
+			if fullIdle == nil && !s.siblingBusy(cpu) {
+				sib := s.topo.Sibling(cpu)
+				if sib < 0 || s.cpus[sib].idle() {
+					fullIdle = c
+				}
+			}
+			continue
+		}
+		load := c.queued()
+		if c.curr != nil {
+			load++
+		}
+		// Prefer strictly lighter CPUs; on ties prefer the task's
+		// previous CPU (cache locality, and it spreads simultaneous
+		// wakeups instead of piling them onto CPU 0).
+		if load < leastLoad || (load == leastLoad && cpu == t.cpu) {
+			leastLoad = load
+			least = c
+		}
+	}
+	if fullIdle != nil {
+		return fullIdle
+	}
+	if anyIdle != nil {
+		return anyIdle
+	}
+	if least != nil {
+		return least
+	}
+	// All allowed CPUs loaded equally high; fall back to first allowed.
+	return s.cpus[allowed.First()]
+}
+
+// wake makes a task runnable and places it on a CPU.
+func (s *Scheduler) wake(t *Task) {
+	c := s.selectCPU(t)
+	s.enqueue(c, t)
+}
+
+func (s *Scheduler) enqueue(c *cpuState, t *Task) {
+	t.state = StateRunnable
+	t.cpu = c.id
+	s.seq++
+	t.enqueueSeq = s.seq
+	if t.policy == PolicyFIFO {
+		c.fifo = append(c.fifo, t)
+	} else {
+		if t.vruntime < c.minVruntime {
+			t.vruntime = c.minVruntime
+		}
+		c.fair = append(c.fair, t)
+	}
+	if c.curr == nil {
+		s.resched(c)
+		return
+	}
+	if s.shouldPreempt(c, t, c.curr) {
+		curr := c.curr
+		curr.Preempted++
+		s.undispatch(curr, StateRunnable)
+		s.requeue(c, curr)
+		s.resched(c)
+		return
+	}
+	if c.curr.policy == PolicyOther && len(c.fair) > 0 {
+		s.armSlice(c)
+	}
+}
+
+// requeue puts a preempted task back on its CPU's queue, preserving FIFO
+// ordering by its original enqueue sequence.
+func (s *Scheduler) requeue(c *cpuState, t *Task) {
+	t.state = StateRunnable
+	if t.policy == PolicyFIFO {
+		c.fifo = append(c.fifo, t)
+	} else {
+		c.fair = append(c.fair, t)
+	}
+}
+
+func (s *Scheduler) shouldPreempt(c *cpuState, newT, curr *Task) bool {
+	if newT.policy == PolicyFIFO {
+		if c.rtThrottled {
+			return false
+		}
+		if curr.policy == PolicyOther {
+			return true
+		}
+		return newT.rtprio > curr.rtprio
+	}
+	if curr.policy == PolicyFIFO {
+		return false
+	}
+	// Fair wakeup preemption: only if the waker is clearly behind.
+	gran := float64(s.opt.WakeupGranularity) * 1024 / curr.weight()
+	return newT.vruntime+gran < curr.vruntime
+}
+
+// pickNext removes and returns the best runnable task for c, or nil.
+func (s *Scheduler) pickNext(c *cpuState) *Task {
+	if len(c.fifo) > 0 && !c.rtThrottled {
+		best := 0
+		for i := 1; i < len(c.fifo); i++ {
+			t, b := c.fifo[i], c.fifo[best]
+			if t.rtprio > b.rtprio || (t.rtprio == b.rtprio && t.enqueueSeq < b.enqueueSeq) {
+				best = i
+			}
+		}
+		t := c.fifo[best]
+		c.fifo = append(c.fifo[:best], c.fifo[best+1:]...)
+		return t
+	}
+	if len(c.fair) > 0 {
+		best := 0
+		for i := 1; i < len(c.fair); i++ {
+			t, b := c.fair[i], c.fair[best]
+			if t.vruntime < b.vruntime || (t.vruntime == b.vruntime && t.enqueueSeq < b.enqueueSeq) {
+				best = i
+			}
+		}
+		t := c.fair[best]
+		c.fair = append(c.fair[:best], c.fair[best+1:]...)
+		return t
+	}
+	return nil
+}
+
+// resched dispatches the next task on an idle CPU.
+func (s *Scheduler) resched(c *cpuState) {
+	for c.curr == nil {
+		t := s.pickNext(c)
+		if t == nil {
+			return
+		}
+		if !s.dispatch(c, t) {
+			continue // task blocked/finished instantly; pick again
+		}
+		return
+	}
+}
+
+// dispatch puts t on CPU c. It reports whether t actually occupies the CPU
+// afterwards (false when its next request blocked or finished immediately).
+func (s *Scheduler) dispatch(c *cpuState, t *Task) bool {
+	now := s.eng.Now()
+	migrated := t.lastRunCPU >= 0 && t.lastRunCPU != c.id && t.seg.kind != segNone
+	t.cpu = c.id
+	t.state = StateRunning
+	t.runStart = now
+	t.lastAccount = now
+	c.curr = t
+	s.ContextSwitches++
+	s.occupancyChanged(c)
+	if t.seg.kind == segMemory {
+		s.setStreamActive(t, true)
+	}
+	if t.seg.kind == segNone {
+		s.processRequests(t)
+		return s.cpus[c.id].curr == t
+	}
+	if migrated {
+		t.Migrations++
+		if s.opt.MigrationCost > 0 {
+			// Cache-warmup penalty: extra demand at the current rate.
+			r := s.currentRate(t)
+			if r > 0 {
+				t.remaining += float64(s.opt.MigrationCost) * r
+			}
+		}
+	}
+	s.refresh(t)
+	s.armSlice(c)
+	s.startThrottleWatch(c, t)
+	return true
+}
+
+// undispatch removes the running task from its CPU, accounting and tracing
+// its run interval, and leaves it in the given state.
+func (s *Scheduler) undispatch(t *Task, newState TaskState) {
+	c := s.cpus[t.cpu]
+	if c.curr != t {
+		panic(fmt.Sprintf("cpusched: undispatch %q not current on cpu %d", t.Name, t.cpu))
+	}
+	s.account(t)
+	s.cancelTimers(t)
+	if c.sliceTimer != nil {
+		c.sliceTimer.Cancel()
+		c.sliceTimer = nil
+	}
+	if t.vruntime > c.minVruntime {
+		c.minVruntime = t.vruntime
+	}
+	c.curr = nil
+	t.state = newState
+	t.lastRunCPU = c.id
+	if t.streamActive {
+		s.setStreamActive(t, false)
+	}
+	s.emitTaskRun(c, t, t.runStart, s.eng.Now())
+	s.occupancyChanged(c)
+}
+
+// occupancyChanged updates the SMT sibling's rate after c's occupancy
+// changed.
+func (s *Scheduler) occupancyChanged(c *cpuState) {
+	sib := s.topo.Sibling(c.id)
+	if sib >= 0 {
+		if st := s.cpus[sib].curr; st != nil {
+			s.refresh(st)
+		}
+	}
+}
+
+// processRequests fetches and handles requests from t's body until one
+// consumes time (or t blocks/finishes, freeing the CPU). Zero-time
+// requests (policy changes, barrier releases) can have side effects that
+// preempt t itself; a request fetched while t no longer holds its CPU is
+// stashed and consumed at the next dispatch.
+func (s *Scheduler) processRequests(t *Task) {
+	for {
+		var req request
+		if t.pendingReq != nil {
+			req = *t.pendingReq
+			t.pendingReq = nil
+		} else {
+			req = s.fetchNext(t)
+		}
+		if t.state != StateRunning || s.cpus[t.cpu].curr != t {
+			t.pendingReq = &req
+			return
+		}
+		c := s.cpus[t.cpu]
+		switch req.kind {
+		case reqCompute, reqMemory:
+			if req.kind == reqCompute {
+				t.seg = segment{kind: segCompute}
+			} else {
+				t.seg = segment{kind: segMemory}
+			}
+			t.remaining = req.demand
+			t.lastAccount = s.eng.Now()
+			if req.kind == reqMemory {
+				s.setStreamActive(t, true)
+			}
+			s.refresh(t)
+			s.armSlice(c)
+			s.startThrottleWatch(c, t)
+			return
+		case reqSleepUntil:
+			now := s.eng.Now()
+			if req.until <= now {
+				continue // already past: no time passes
+			}
+			t.seg = segment{kind: segNone}
+			s.undispatch(t, StateSleeping)
+			tt := t
+			t.wakeTimer = s.eng.At(req.until, func() {
+				tt.wakeTimer = nil
+				s.wake(tt)
+			})
+			s.resched(c)
+			return
+		case reqBarrier:
+			if done := s.barrierArrive(t, req.bar, req.spin); done {
+				continue // released immediately (last arriver): keep going
+			}
+			if req.spin {
+				t.seg = segment{kind: segSpin}
+				t.remaining = math.MaxFloat64
+				t.lastAccount = s.eng.Now()
+				s.refresh(t)
+				s.armSlice(c)
+				return
+			}
+			t.seg = segment{kind: segNone}
+			s.undispatch(t, StateBlocked)
+			s.resched(c)
+			return
+		case reqSetPolicy:
+			t.nice = req.nice
+			s.applyPolicy(t, req.policy, req.rtprio)
+			if s.cpus[t.cpu].curr != t {
+				// Policy downgrade caused preemption; the body resumes when
+				// the task is dispatched again.
+				return
+			}
+		case reqYield:
+			t.seg = segment{kind: segNone}
+			s.undispatch(t, StateRunnable)
+			// Push behind queued peers.
+			if t.policy == PolicyOther && len(c.fair) > 0 {
+				maxV := t.vruntime
+				for _, o := range c.fair {
+					if o.vruntime > maxV {
+						maxV = o.vruntime
+					}
+				}
+				t.vruntime = maxV
+			}
+			s.seq++
+			t.enqueueSeq = s.seq
+			s.requeue(c, t)
+			s.resched(c)
+			return
+		case reqDone:
+			t.seg = segment{kind: segNone}
+			s.undispatch(t, StateDone)
+			s.finishCallbacks(t)
+			s.resched(c)
+			return
+		}
+	}
+}
+
+// applyPolicy changes a running task's class, re-evaluating preemption when
+// it downgrades from FIFO while other FIFO tasks wait.
+func (s *Scheduler) applyPolicy(t *Task, p Policy, rtprio int) {
+	s.account(t)
+	t.policy = p
+	t.rtprio = rtprio
+	c := s.cpus[t.cpu]
+	if p == PolicyOther && len(c.fifo) > 0 && !c.rtThrottled {
+		t.Preempted++
+		s.undispatch(t, StateRunnable)
+		s.requeue(c, t)
+		s.resched(c)
+	}
+}
+
+// onSegmentDone fires when a task's current segment demand reaches zero.
+func (s *Scheduler) onSegmentDone(t *Task) {
+	t.completion = nil
+	if t.state != StateRunning {
+		return // stale
+	}
+	s.account(t)
+	if t.remaining > 0.5 {
+		// Rate dropped since scheduling; re-arm.
+		s.refresh(t)
+		return
+	}
+	if t.streamActive {
+		s.setStreamActive(t, false)
+	}
+	t.seg = segment{kind: segNone}
+	t.remaining = 0
+	s.processRequests(t)
+}
+
+// ---- fair timeslice ----
+
+func (s *Scheduler) armSlice(c *cpuState) {
+	if c.curr == nil || c.curr.policy != PolicyOther || len(c.fair) == 0 {
+		return
+	}
+	if c.sliceTimer != nil && c.sliceTimer.Pending() {
+		return
+	}
+	cc := c
+	c.sliceTimer = s.eng.After(s.opt.Slice, func() { s.sliceExpire(cc) })
+}
+
+func (s *Scheduler) sliceExpire(c *cpuState) {
+	c.sliceTimer = nil
+	t := c.curr
+	if t == nil || t.policy != PolicyOther || len(c.fair) == 0 {
+		return
+	}
+	t.Preempted++
+	s.undispatch(t, StateRunnable)
+	s.seq++
+	t.enqueueSeq = s.seq
+	s.requeue(c, t)
+	s.resched(c)
+}
+
+// ---- tracing ----
+
+func (s *Scheduler) emitTaskRun(c *cpuState, t *Task, start, end sim.Time) {
+	if s.tracer == nil || end <= start {
+		return
+	}
+	s.tracer.TaskRan(c.id, t, start, end)
+	s.traceSteal(c)
+}
+
+// traceSteal accumulates the per-record tracing overhead against the CPU
+// the record was taken on; refresh charges it to the next accountable
+// segment running there.
+func (s *Scheduler) traceSteal(c *cpuState) {
+	if s.opt.TraceOverhead <= 0 {
+		return
+	}
+	c.pendingSteal += s.opt.TraceOverhead
+	if t := c.curr; t != nil && t.state == StateRunning &&
+		(t.seg.kind == segCompute || t.seg.kind == segMemory) {
+		s.refresh(t)
+	}
+}

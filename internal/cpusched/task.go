@@ -1,0 +1,267 @@
+package cpusched
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TaskState is the lifecycle state of a task.
+type TaskState int
+
+const (
+	// StateNew means the task body has not run yet.
+	StateNew TaskState = iota
+	// StateRunnable means the task is queued on a CPU.
+	StateRunnable
+	// StateRunning means the task currently occupies a CPU.
+	StateRunning
+	// StateSleeping means the task waits on a timer.
+	StateSleeping
+	// StateBlocked means the task waits on a barrier.
+	StateBlocked
+	// StateDone means the task body returned or the task was killed.
+	StateDone
+)
+
+type segKind int
+
+const (
+	segNone segKind = iota // no current segment: next request must be fetched
+	segCompute
+	segMemory
+	segSpin // busy-wait with unbounded demand (spinning barrier wait)
+)
+
+type reqKind int
+
+const (
+	reqCompute reqKind = iota
+	reqMemory
+	reqSleepUntil
+	reqBarrier
+	reqSetPolicy
+	reqYield
+	reqDone
+)
+
+type request struct {
+	kind   reqKind
+	demand float64  // cycles or bytes
+	until  sim.Time // reqSleepUntil
+	bar    *Barrier // reqBarrier
+	spin   bool     // reqBarrier: spin instead of blocking
+	policy Policy   // reqSetPolicy
+	rtprio int      // reqSetPolicy
+	nice   int      // reqSetPolicy
+}
+
+type segment struct {
+	kind segKind
+}
+
+type killSignal struct{}
+
+// TaskSpec describes a task to spawn.
+type TaskSpec struct {
+	// Name identifies the task in logs and stats.
+	Name string
+	// Source is the tracer source label, e.g. "kworker/3:1". Defaults to
+	// Name when empty.
+	Source string
+	// Kind classifies the task for tracing.
+	Kind Kind
+	// Policy and RTPrio select the scheduling class. RTPrio only matters
+	// for PolicyFIFO; higher preempts lower.
+	Policy Policy
+	RTPrio int
+	// Nice is the fair-class niceness (-20..19, lower = heavier weight).
+	Nice int
+	// Affinity restricts the task to a CPU set; the zero value means all
+	// CPUs of the machine.
+	Affinity machine.CPUSet
+}
+
+// Task is a schedulable thread of execution.
+type Task struct {
+	ID     int
+	Name   string
+	Source string
+	Kind   Kind
+
+	policy   Policy
+	rtprio   int
+	nice     int
+	affinity machine.CPUSet
+
+	state TaskState
+	cpu   int // current or last CPU, -1 before first dispatch
+	// lastRunCPU is the CPU the task last executed on, for migration cost.
+	lastRunCPU int
+
+	sched    *Scheduler
+	body     func(*Ctx)
+	reqCh    chan request
+	resumeCh chan struct{}
+	killCh   chan struct{}
+	started  bool
+
+	seg          segment
+	remaining    float64
+	rate         float64
+	lastAccount  sim.Time
+	runStart     sim.Time
+	streamActive bool
+
+	vruntime   float64
+	enqueueSeq uint64
+
+	completion *sim.Timer
+	wakeTimer  *sim.Timer
+	bar        *Barrier
+	// pendingReq holds a fetched-but-unprocessed request when the task
+	// lost its CPU mid-processing (e.g. preempted by a task woken from a
+	// barrier it just released); it is consumed at the next dispatch.
+	pendingReq *request
+
+	onDone []func()
+
+	// Statistics.
+	CPUTime    sim.Time
+	Migrations int
+	Preempted  int
+}
+
+// State returns the task's lifecycle state.
+func (t *Task) State() TaskState { return t.state }
+
+// Done reports whether the task has finished (or was killed).
+func (t *Task) Done() bool { return t.state == StateDone }
+
+// CPU returns the task's current (or most recent) CPU, -1 if never run.
+func (t *Task) CPU() int { return t.cpu }
+
+// Policy returns the task's scheduling policy.
+func (t *Task) Policy() Policy { return t.policy }
+
+// OnDone registers fn to run (on the engine thread) when the task finishes.
+func (t *Task) OnDone(fn func()) { t.onDone = append(t.onDone, fn) }
+
+func (t *Task) weight() float64 {
+	// 1024 at nice 0, ~+25% CPU per nice step down, as in CFS.
+	return 1024 * math.Pow(1.25, -float64(t.nice))
+}
+
+// run executes the task body on its own goroutine under the coroutine
+// protocol. Any ctx call aborts with killSignal once the task is killed.
+func (t *Task) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); ok {
+				return // killed: engine no longer listens; just exit
+			}
+			panic(r)
+		}
+	}()
+	t.body(&Ctx{t: t, s: t.sched})
+	t.send(request{kind: reqDone})
+}
+
+// send hands a request to the engine thread, aborting if killed.
+func (t *Task) send(r request) {
+	select {
+	case t.reqCh <- r:
+	case <-t.killCh:
+		panic(killSignal{})
+	}
+}
+
+// await blocks until the engine resumes the body, aborting if killed.
+func (t *Task) await() {
+	select {
+	case <-t.resumeCh:
+	case <-t.killCh:
+		panic(killSignal{})
+	}
+}
+
+// Ctx is the execution context handed to a task body. All methods may only
+// be called from the body function (they drive the coroutine handshake).
+type Ctx struct {
+	t *Task
+	s *Scheduler
+}
+
+// Compute executes work costing the given number of CPU cycles.
+func (c *Ctx) Compute(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	c.t.send(request{kind: reqCompute, demand: cycles})
+	c.t.await()
+}
+
+// Memory streams the given number of bytes through the memory system,
+// sharing machine bandwidth with concurrent streams.
+func (c *Ctx) Memory(bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	c.t.send(request{kind: reqMemory, demand: bytes})
+	c.t.await()
+}
+
+// SleepUntil blocks the task (releasing its CPU) until simulated time at.
+// If at is in the past it returns immediately.
+func (c *Ctx) SleepUntil(at sim.Time) {
+	c.t.send(request{kind: reqSleepUntil, until: at})
+	c.t.await()
+}
+
+// Sleep blocks the task for d nanoseconds of simulated time.
+func (c *Ctx) Sleep(d sim.Time) { c.SleepUntil(c.Now() + d) }
+
+// Barrier waits at b. With spin=true the task busy-waits, consuming its CPU
+// until release (OpenMP-style active wait); with spin=false it blocks and
+// releases the CPU.
+func (c *Ctx) Barrier(b *Barrier, spin bool) {
+	c.t.send(request{kind: reqBarrier, bar: b, spin: spin})
+	c.t.await()
+}
+
+// SetPolicy switches the task's scheduling class; takes no simulated time.
+// The task's niceness is preserved.
+func (c *Ctx) SetPolicy(p Policy, rtprio int) {
+	c.t.send(request{kind: reqSetPolicy, policy: p, rtprio: rtprio, nice: c.t.nice})
+	c.t.await()
+}
+
+// SetPolicyNice switches class and niceness together (SCHED_OTHER tasks
+// only use nice; FIFO tasks only use rtprio).
+func (c *Ctx) SetPolicyNice(p Policy, rtprio, nice int) {
+	c.t.send(request{kind: reqSetPolicy, policy: p, rtprio: rtprio, nice: nice})
+	c.t.await()
+}
+
+// Yield relinquishes the CPU, letting same-class peers run.
+func (c *Ctx) Yield() {
+	c.t.send(request{kind: reqYield})
+	c.t.await()
+}
+
+// Now returns the current simulated time. Safe because the body only runs
+// while the engine thread is parked in the handshake.
+func (c *Ctx) Now() sim.Time { return c.s.eng.Now() }
+
+// CPU returns the logical CPU the task currently occupies.
+func (c *Ctx) CPU() int { return c.t.cpu }
+
+// Task returns the underlying task (read-only use).
+func (c *Ctx) Task() *Task { return c.t }
+
+// ComputeDur executes compute work sized to take d nanoseconds at full
+// single-thread speed (it takes longer under SMT sharing or preemption).
+func (c *Ctx) ComputeDur(d sim.Time) {
+	c.Compute(float64(d) * c.s.topo.CyclesPerNs())
+}

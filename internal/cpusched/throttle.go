@@ -1,0 +1,73 @@
+package cpusched
+
+// RT throttling: the Linux fail-safe that limits SCHED_FIFO tasks to
+// RTRuntime per RTPeriod on each CPU so a runaway real-time task cannot
+// permanently starve the system. The paper's noise injector explicitly
+// disables this fail-safe to reach 100% processor utilization (§4.3); the
+// scheduler therefore defaults to RTThrottle=false, and enabling it is
+// exercised by tests and ablations.
+
+// startThrottleWatch arms the throttle deadline for a FIFO task that was
+// just dispatched (or started a new segment) on c.
+func (s *Scheduler) startThrottleWatch(c *cpuState, t *Task) {
+	if !s.opt.RTThrottle || t.policy != PolicyFIFO {
+		return
+	}
+	now := s.eng.Now()
+	if now-c.rtWindowStart >= s.opt.RTPeriod {
+		c.rtWindowStart = now
+		c.rtUsed = 0
+	}
+	budget := s.opt.RTRuntime - c.rtUsed
+	if budget <= 0 {
+		s.throttleNow(c)
+		return
+	}
+	if c.throttleTimer != nil {
+		c.throttleTimer.Cancel()
+	}
+	cc := c
+	c.throttleTimer = s.eng.After(budget, func() { s.throttleFire(cc) })
+}
+
+func (s *Scheduler) throttleFire(c *cpuState) {
+	c.throttleTimer = nil
+	t := c.curr
+	if t == nil || t.policy != PolicyFIFO {
+		return
+	}
+	s.account(t)
+	if c.rtUsed >= s.opt.RTRuntime {
+		s.throttleNow(c)
+		return
+	}
+	// Budget not actually exhausted (the task slept meanwhile); re-arm.
+	s.startThrottleWatch(c, t)
+}
+
+// throttleNow suspends FIFO execution on c until the current period ends.
+func (s *Scheduler) throttleNow(c *cpuState) {
+	if c.rtThrottled {
+		return
+	}
+	c.rtThrottled = true
+	if t := c.curr; t != nil && t.policy == PolicyFIFO {
+		t.Preempted++
+		s.undispatch(t, StateRunnable)
+		s.requeue(c, t)
+	}
+	windowEnd := c.rtWindowStart + s.opt.RTPeriod
+	s.eng.At(windowEnd, func() {
+		c.rtThrottled = false
+		c.rtWindowStart = s.eng.Now()
+		c.rtUsed = 0
+		if c.curr != nil && c.curr.policy == PolicyOther && len(c.fifo) > 0 {
+			t := c.curr
+			t.Preempted++
+			s.undispatch(t, StateRunnable)
+			s.requeue(c, t)
+		}
+		s.resched(c)
+	})
+	s.resched(c)
+}

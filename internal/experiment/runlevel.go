@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/mitigate"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// RunlevelRow compares one configuration's variability at runlevel 5
+// (desktop, GUI) and runlevel 3 (no GUI), the §5.1 verification re-run.
+type RunlevelRow struct {
+	Workload string
+	Model    string
+	Strategy mitigate.Strategy
+	// RL5 and RL3 summarize execution times (ms) with and without GUI
+	// noise.
+	RL5 stats.Summary
+	RL3 stats.Summary
+}
+
+// SDReductionPct is how much runlevel 3 reduced the standard deviation.
+func (r RunlevelRow) SDReductionPct() float64 {
+	if r.RL5.SD == 0 {
+		return 0
+	}
+	return (r.RL5.SD - r.RL3.SD) / r.RL5.SD * 100
+}
+
+// RunlevelStudy reproduces the paper's §5.1 check: re-running baselines at
+// Linux runlevel 3 (GUI disabled) "generally reduced performance
+// variability, [but] overall trends remain unchanged".
+type RunlevelStudy struct {
+	Platform   *platform.Platform
+	Workloads  []string
+	Model      string
+	Strategies []mitigate.Strategy
+	Reps       int
+	Seed       uint64
+}
+
+// Run measures each (workload, strategy) at both runlevels.
+func (st RunlevelStudy) Run() ([]RunlevelRow, error) {
+	if st.Model == "" {
+		st.Model = "omp"
+	}
+	if len(st.Strategies) == 0 {
+		st.Strategies = []mitigate.Strategy{mitigate.Rm}
+	}
+	var rows []RunlevelRow
+	for _, wname := range st.Workloads {
+		w, err := st.Platform.WorkloadSpec(wname)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range st.Strategies {
+			spec := Spec{
+				Platform: st.Platform, Workload: w, Model: st.Model,
+				Strategy: strat, Tracing: true,
+				Seed: seedFor(st.Seed, "runlevel", wname, strat.Name()),
+			}
+			rl5, _, err := RunSeries(spec, st.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("runlevel5 %s/%s: %w", wname, strat.Name(), err)
+			}
+			spec.Runlevel3 = true
+			rl3, _, err := RunSeries(spec, st.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("runlevel3 %s/%s: %w", wname, strat.Name(), err)
+			}
+			rows = append(rows, RunlevelRow{
+				Workload: wname,
+				Model:    st.Model,
+				Strategy: strat,
+				RL5:      stats.SummarizeTimes(rl5),
+				RL3:      stats.SummarizeTimes(rl3),
+			})
+		}
+	}
+	return rows, nil
+}

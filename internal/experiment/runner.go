@@ -1,0 +1,212 @@
+// Package experiment orchestrates the paper's evaluation: single simulated
+// executions (traced or not, with or without noise injection), the
+// three-stage injector pipeline over trace sets, the baseline and injection
+// studies behind Tables 1-7, and the A64FX motivation figures.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpusched"
+	"repro/internal/mitigate"
+	"repro/internal/noise"
+	"repro/internal/omprt"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/syclrt"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// noiseHorizon bounds noise generation; effectively "forever" relative to
+// any run.
+const noiseHorizon = sim.Time(1) << 60
+
+// Models lists the two programming models under comparison.
+var Models = []string{"omp", "sycl"}
+
+// Spec describes one simulated execution.
+type Spec struct {
+	// Platform supplies machine, noise profile, and scheduler options.
+	Platform *platform.Platform
+	// Workload is the cost model to execute.
+	Workload workloads.Workload
+	// Model selects the runtime: "omp" or "sycl".
+	Model string
+	// Strategy is the mitigation configuration.
+	Strategy mitigate.Strategy
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// Tracing enables the osnoise-style tracer (with its small overhead).
+	Tracing bool
+	// Inject, when non-nil, replays this noise configuration during the
+	// run (stage 3 of the injector).
+	Inject *core.Config
+	// PinInjectors pins injector processes to their configured CPUs
+	// (ablation; the paper leaves them unpinned).
+	PinInjectors bool
+	// NoiseScale multiplies the natural noise intensity; 0 means 1.0.
+	NoiseScale float64
+	// Runlevel3 disables GUI noise, as in the paper's re-runs.
+	Runlevel3 bool
+	// OMP / SYCL override the runtime model configs (nil = defaults).
+	OMP  *omprt.Config
+	SYCL *syclrt.Config
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// ExecTime is the workload's execution time.
+	ExecTime sim.Time
+	// Trace is the recorded trace (nil unless Spec.Tracing).
+	Trace *trace.Trace
+	// InjectedAll reports whether every configured noise event was
+	// injected before the workload finished.
+	InjectedAll bool
+	// InjectorCPUTime is the total CPU time injector processes consumed;
+	// InjectorOnWorkload is the share that landed on CPUs the workload
+	// was allowed to use. Their difference is what the housekeeping
+	// cores absorbed. Zero unless Spec.Inject was set.
+	InjectorCPUTime    sim.Time
+	InjectorOnWorkload sim.Time
+}
+
+// AbsorbedFraction returns the share of injected noise that landed outside
+// the workload's CPUs (absorbed by housekeeping), 0 when nothing was
+// injected.
+func (r Result) AbsorbedFraction() float64 {
+	if r.InjectorCPUTime <= 0 {
+		return 0
+	}
+	return float64(r.InjectorCPUTime-r.InjectorOnWorkload) / float64(r.InjectorCPUTime)
+}
+
+// RunOnce executes one simulated run.
+func RunOnce(spec Spec) (Result, error) {
+	if spec.Platform == nil || spec.Workload == nil {
+		return Result{}, fmt.Errorf("experiment: spec needs platform and workload")
+	}
+	plan, err := mitigate.Apply(spec.Strategy, spec.Platform.Topo)
+	if err != nil {
+		return Result{}, err
+	}
+	return runOnceWithPlan(spec, plan)
+}
+
+// runOnceWithPlan executes one run with an explicit execution plan,
+// bypassing strategy derivation (used by the thread-count sweeps).
+func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
+	eng := sim.NewEngine()
+	sched := cpusched.New(eng, spec.Platform.Topo, spec.Platform.SchedOpt)
+	defer sched.Shutdown()
+
+	var tracer *trace.Tracer
+	if spec.Tracing {
+		tracer = trace.NewTracer(0)
+		sched.SetTracer(tracer)
+	}
+
+	prof := spec.Platform.Noise
+	if spec.Runlevel3 {
+		prof = prof.WithRunlevel3()
+	}
+	if spec.NoiseScale > 0 && spec.NoiseScale != 1.0 {
+		prof = prof.Scale(spec.NoiseScale)
+	}
+	rng := sim.NewRNG(spec.Seed)
+	noise.Attach(sched, prof, rng.Stream("noise"), noiseHorizon)
+
+	var replayer *core.Replayer
+	if spec.Inject != nil {
+		r, err := core.NewReplayer(sched, spec.Inject)
+		if err != nil {
+			return Result{}, err
+		}
+		r.PinInjectors = spec.PinInjectors
+		replayer = r
+	}
+
+	var done *cpusched.Task
+	switch spec.Model {
+	case "omp":
+		cfg := omprt.DefaultConfig()
+		if spec.OMP != nil {
+			cfg = *spec.OMP
+		}
+		team := omprt.Start(sched, plan, cfg, spec.Workload.Body())
+		done = team.Master()
+	case "sycl":
+		cfg := syclrt.DefaultConfig()
+		if spec.SYCL != nil {
+			cfg = *spec.SYCL
+		}
+		q := syclrt.Start(sched, plan, cfg, spec.Workload.Body())
+		done = q.Host()
+	default:
+		return Result{}, fmt.Errorf("experiment: unknown model %q", spec.Model)
+	}
+
+	if replayer != nil {
+		// Injector processes synchronize with workload start (Listing 1's
+		// barrier): both begin at t=0.
+		replayer.Start()
+		done.OnDone(func() { replayer.StopAll() })
+	}
+
+	eng.RunWhile(func() bool { return !done.Done() })
+	if !done.Done() {
+		return Result{}, fmt.Errorf("experiment: workload deadlocked (event queue drained)")
+	}
+	res := Result{ExecTime: eng.Now()}
+	if replayer != nil {
+		res.InjectedAll = replayer.Done()
+		for cpu := 0; cpu < spec.Platform.Topo.NumCPUs(); cpu++ {
+			t := sched.CPUTimeOf(cpu, cpusched.KindInjector)
+			res.InjectorCPUTime += t
+			if plan.Allowed.Has(cpu) {
+				res.InjectorOnWorkload += t
+			}
+		}
+	}
+	if tracer != nil {
+		res.Trace = tracer.Finish(res.ExecTime, spec.Platform.Name,
+			spec.Workload.Name(), spec.Model, spec.Strategy.Name(), spec.Seed)
+	}
+	return res, nil
+}
+
+// runSeriesWithPlan is RunSeries with an explicit execution plan.
+func runSeriesWithPlan(spec Spec, plan *mitigate.Plan, reps int) ([]sim.Time, error) {
+	times := make([]sim.Time, 0, reps)
+	for i := 0; i < reps; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)*1000003
+		res, err := runOnceWithPlan(s, plan)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: rep %d: %w", i, err)
+		}
+		times = append(times, res.ExecTime)
+	}
+	return times, nil
+}
+
+// RunSeries executes reps runs with consecutive seeds and returns the
+// execution times (and traces when tracing).
+func RunSeries(spec Spec, reps int) ([]sim.Time, []*trace.Trace, error) {
+	times := make([]sim.Time, 0, reps)
+	var traces []*trace.Trace
+	for i := 0; i < reps; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)*1000003
+		res, err := RunOnce(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiment: rep %d: %w", i, err)
+		}
+		times = append(times, res.ExecTime)
+		if res.Trace != nil {
+			traces = append(traces, res.Trace)
+		}
+	}
+	return times, traces, nil
+}

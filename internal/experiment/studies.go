@@ -1,0 +1,530 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mitigate"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// RepCounts sets how many executions each study phase performs. The paper
+// uses Collect/Baseline = 1000 and Inject = 200; defaults here are scaled
+// for tractable regeneration and can be raised via the CLI/bench flags.
+type RepCounts struct {
+	// Collect is the number of traced runs used to hunt the worst case
+	// and average the inherent noise (stage 1).
+	Collect int
+	// Baseline is the rep count for baseline statistics per config.
+	Baseline int
+	// Inject is the rep count per injection experiment.
+	Inject int
+}
+
+// DefaultReps returns CI-scale rep counts.
+func DefaultReps() RepCounts { return RepCounts{Collect: 150, Baseline: 25, Inject: 25} }
+
+// Scale multiplies all rep counts by f (minimum 2 each).
+func (r RepCounts) Scale(f float64) RepCounts {
+	s := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return RepCounts{Collect: s(r.Collect), Baseline: s(r.Baseline), Inject: s(r.Inject)}
+}
+
+// seedFor derives a deterministic sub-seed for a named study phase.
+func seedFor(base uint64, tags ...string) uint64 {
+	h := base ^ 0x9e3779b97f4a7c15
+	for _, t := range tags {
+		for i := 0; i < len(t); i++ {
+			h ^= uint64(t[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Baseline study (Table 2 and the baselines behind Tables 3-5)
+// ---------------------------------------------------------------------------
+
+// BaselineCell is one (model, strategy) baseline measurement.
+type BaselineCell struct {
+	Model    string
+	Strategy mitigate.Strategy
+	Summary  stats.Summary // over execution times, in milliseconds
+}
+
+// BaselineStudy measures run-to-run variability without injection for every
+// model and strategy of one workload on one platform.
+type BaselineStudy struct {
+	Platform *platform.Platform
+	Workload string
+	Reps     int
+	Seed     uint64
+	// SMT additionally measures the SMT-enabled strategies (AMD rows).
+	SMT bool
+}
+
+// BaselineResult maps "model/strategy" to its cell.
+type BaselineResult struct {
+	Workload string
+	Platform string
+	Cells    map[string]BaselineCell
+}
+
+// Key builds the lookup key used by Cells.
+func Key(model string, strat mitigate.Strategy) string {
+	return model + "/" + strat.Name()
+}
+
+// Run executes the study.
+func (b BaselineStudy) Run() (*BaselineResult, error) {
+	w, err := b.Platform.WorkloadSpec(b.Workload)
+	if err != nil {
+		return nil, err
+	}
+	res := &BaselineResult{
+		Workload: b.Workload,
+		Platform: b.Platform.Name,
+		Cells:    make(map[string]BaselineCell),
+	}
+	strategies := mitigate.Columns()
+	if b.SMT {
+		for _, s := range mitigate.Columns() {
+			strategies = append(strategies, s.WithSMT())
+		}
+	}
+	for _, model := range Models {
+		for _, strat := range strategies {
+			spec := Spec{
+				Platform: b.Platform,
+				Workload: w,
+				Model:    model,
+				Strategy: strat,
+				Seed:     seedFor(b.Seed, "baseline", b.Workload, model, strat.Name()),
+				Tracing:  true,
+			}
+			times, _, err := RunSeries(spec, b.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("baseline %s/%s/%s: %w", b.Workload, model, strat.Name(), err)
+			}
+			res.Cells[Key(model, strat)] = BaselineCell{
+				Model:    model,
+				Strategy: strat,
+				Summary:  stats.SummarizeTimes(times),
+			}
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Worst-case config construction (stage 1+2 for the injection studies)
+// ---------------------------------------------------------------------------
+
+// ConfigSource describes which workload configuration a worst-case trace is
+// hunted under (the paper's ten configs span several of these).
+type ConfigSource struct {
+	Model    string
+	Strategy mitigate.Strategy
+	// ID distinguishes alternate configs (#1, #2) from the same source
+	// configuration via different collection seeds.
+	ID int
+}
+
+// Label renders like "Rm-OMP" / "TPHK-SMT-OMP", the style of Table 7.
+func (c ConfigSource) Label() string {
+	name := c.Strategy.Name()
+	model := "OMP"
+	if c.Model == "sycl" {
+		model = "SYCL"
+	}
+	return name + "-" + model
+}
+
+// BuildConfig hunts a worst case for the given source configuration and
+// generates its injection config.
+func BuildConfig(p *platform.Platform, workload string, src ConfigSource,
+	collectRuns int, improved bool, seed uint64) (*core.Config, *PipelineResult, error) {
+	w, err := p.WorkloadSpec(workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl := Pipeline{
+		Spec: Spec{
+			Platform: p,
+			Workload: w,
+			Model:    src.Model,
+			Strategy: src.Strategy,
+			Seed:     seedFor(seed, "collect", workload, src.Model, src.Strategy.Name(), fmt.Sprint(src.ID)),
+		},
+		CollectRuns: collectRuns,
+		Improved:    improved,
+	}
+	pr, err := pl.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr.Config, pr, nil
+}
+
+// ---------------------------------------------------------------------------
+// Injection study (Tables 3-5)
+// ---------------------------------------------------------------------------
+
+// InjectCell is one strategy column of an injection row.
+type InjectCell struct {
+	// MeanSec is the average injected execution time in seconds.
+	MeanSec float64
+	// ChangePct is the percentage increase vs the matching baseline.
+	ChangePct float64
+	// BaseSec is the baseline mean in seconds.
+	BaseSec float64
+	// SD is the injected run standard deviation in ms.
+	SD float64
+}
+
+// InjectRow is one row of Tables 3-5: a (model, SMT, config#) combination
+// across the six strategy columns.
+type InjectRow struct {
+	Label    string
+	Model    string
+	SMT      bool
+	ConfigID int
+	Cells    []InjectCell // indexed like mitigate.Columns()
+}
+
+// InjectSection is one platform block of a table.
+type InjectSection struct {
+	Platform string
+	Rows     []InjectRow
+}
+
+// InjectionStudy produces one workload's table (3, 4, or 5).
+type InjectionStudy struct {
+	Platforms []*platform.Platform
+	Workload  string
+	Reps      RepCounts
+	Seed      uint64
+	Improved  bool
+	// ConfigsPerPlatform is how many alternate worst-case configs (#1,
+	// #2, ...) to build per platform; the paper varies this per table.
+	ConfigsPerPlatform map[string]int
+}
+
+// InjectionResult is the full table plus the artifacts behind it.
+type InjectionResult struct {
+	Workload string
+	Sections []InjectSection
+	// Configs maps platform name to its ordered configs.
+	Configs map[string][]*core.Config
+	// Anomaly maps platform name to each config's worst-case exec (sec).
+	Anomaly map[string][]float64
+}
+
+// Run executes the study.
+func (st InjectionStudy) Run() (*InjectionResult, error) {
+	out := &InjectionResult{
+		Workload: st.Workload,
+		Configs:  make(map[string][]*core.Config),
+		Anomaly:  make(map[string][]float64),
+	}
+	for _, p := range st.Platforms {
+		nCfg := 1
+		if st.ConfigsPerPlatform != nil {
+			if v, ok := st.ConfigsPerPlatform[p.Name]; ok {
+				nCfg = v
+			}
+		}
+		// Stage 1+2: build the worst-case configs (paper: predominantly
+		// from OpenMP roaming runs).
+		var cfgs []*core.Config
+		for id := 1; id <= nCfg; id++ {
+			cfg, pr, err := BuildConfig(p, st.Workload,
+				ConfigSource{Model: "omp", Strategy: mitigate.Rm, ID: id},
+				st.Reps.Collect, st.Improved, st.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cfgs = append(cfgs, cfg)
+			out.Anomaly[p.Name] = append(out.Anomaly[p.Name], pr.Worst.ExecTime.Seconds())
+		}
+		out.Configs[p.Name] = cfgs
+
+		sec := InjectSection{Platform: p.Name}
+		smtModes := []bool{false}
+		if p.HasSMT {
+			smtModes = append(smtModes, true)
+		}
+		for id, cfg := range cfgs {
+			for _, model := range Models {
+				for _, smt := range smtModes {
+					row, err := st.injectRow(p, model, smt, id+1, cfg)
+					if err != nil {
+						return nil, err
+					}
+					sec.Rows = append(sec.Rows, *row)
+				}
+			}
+		}
+		out.Sections = append(out.Sections, sec)
+	}
+	return out, nil
+}
+
+func (st InjectionStudy) injectRow(p *platform.Platform, model string, smt bool, cfgID int, cfg *core.Config) (*InjectRow, error) {
+	wl, err := p.WorkloadSpec(st.Workload)
+	if err != nil {
+		return nil, err
+	}
+	label := "OMP"
+	if model == "sycl" {
+		label = "SYCL"
+	}
+	if smt {
+		label += " SMT"
+	}
+	label += fmt.Sprintf(" #%d", cfgID)
+	row := &InjectRow{Label: label, Model: model, SMT: smt, ConfigID: cfgID}
+	for _, strat := range mitigate.Columns() {
+		if smt {
+			strat = strat.WithSMT()
+		}
+		baseSpec := Spec{
+			Platform: p, Workload: wl, Model: model, Strategy: strat,
+			Seed:    seedFor(st.Seed, "ibase", st.Workload, model, strat.Name()),
+			Tracing: true,
+		}
+		baseTimes, _, err := RunSeries(baseSpec, st.Reps.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		injSpec := baseSpec
+		injSpec.Tracing = false
+		injSpec.Inject = cfg
+		injSpec.Seed = seedFor(st.Seed, "inj", st.Workload, model, strat.Name(), fmt.Sprint(cfgID))
+		injTimes, _, err := RunSeries(injSpec, st.Reps.Inject)
+		if err != nil {
+			return nil, err
+		}
+		base := stats.SummarizeTimes(baseTimes)
+		inj := stats.SummarizeTimes(injTimes)
+		row.Cells = append(row.Cells, InjectCell{
+			MeanSec:   inj.Mean / 1000,
+			BaseSec:   base.Mean / 1000,
+			ChangePct: stats.RelChange(base.Mean, inj.Mean),
+			SD:        inj.SD,
+		})
+	}
+	return row, nil
+}
+
+// ---------------------------------------------------------------------------
+// Tracing overhead (Table 1)
+// ---------------------------------------------------------------------------
+
+// OverheadRow is one workload's tracing-overhead measurement.
+type OverheadRow struct {
+	Workload    string
+	OffSec      float64
+	OnSec       float64
+	IncreasePct float64
+}
+
+// TracingOverhead measures baseline executions with tracing off and on
+// (OMP, roaming), reproducing Table 1.
+func TracingOverhead(p *platform.Platform, workloadNames []string, reps int, seed uint64) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, name := range workloadNames {
+		w, err := p.WorkloadSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		spec := Spec{
+			Platform: p, Workload: w, Model: "omp", Strategy: mitigate.Rm,
+			Seed: seedFor(seed, "overhead", name),
+		}
+		off, _, err := RunSeries(spec, reps)
+		if err != nil {
+			return nil, err
+		}
+		spec.Tracing = true
+		on, _, err := RunSeries(spec, reps)
+		if err != nil {
+			return nil, err
+		}
+		offMean := stats.SummarizeTimes(off).Mean / 1000
+		onMean := stats.SummarizeTimes(on).Mean / 1000
+		rows = append(rows, OverheadRow{
+			Workload:    name,
+			OffSec:      offMean,
+			OnSec:       onMean,
+			IncreasePct: stats.RelChange(offMean, onMean),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy study (Table 7)
+// ---------------------------------------------------------------------------
+
+// AccuracyEntry is one Table-7 row: a worst-case trace replayed under its
+// own workload configuration.
+type AccuracyEntry struct {
+	Benchmark string
+	Platform  string
+	Source    ConfigSource
+	// AnomalySec is the worst-case trace's execution time.
+	AnomalySec float64
+	// InjectedSec is the mean execution time under injection.
+	InjectedSec float64
+	// AccuracyPct is |Injected/Anomaly - 1| * 100; SignedPct keeps the
+	// sign (negative = replay ran faster than the anomaly).
+	AccuracyPct float64
+	SignedPct   float64
+}
+
+// AccuracyCase names one Table-7 configuration.
+type AccuracyCase struct {
+	Workload string
+	Platform string
+	Source   ConfigSource
+}
+
+// PaperAccuracyCases returns the ten worst-case trace configurations of
+// Table 7 (six from the Intel platform, four from the AMD platform; SMT
+// rows are necessarily AMD).
+func PaperAccuracyCases() []AccuracyCase {
+	intel, amd := machine.Intel9700KF, machine.AMD9950X3D
+	omp, sycl := "omp", "sycl"
+	return []AccuracyCase{
+		{"nbody", intel, ConfigSource{omp, mitigate.Rm, 1}},
+		{"nbody", intel, ConfigSource{omp, mitigate.TP, 1}},
+		{"nbody", amd, ConfigSource{omp, mitigate.Rm.WithSMT(), 1}},
+		{"babelstream", intel, ConfigSource{omp, mitigate.Rm, 1}},
+		{"babelstream", intel, ConfigSource{omp, mitigate.TP, 1}},
+		{"babelstream", amd, ConfigSource{sycl, mitigate.TP, 1}},
+		{"minife", intel, ConfigSource{omp, mitigate.Rm, 1}},
+		{"minife", intel, ConfigSource{omp, mitigate.TPHK2, 1}},
+		{"minife", amd, ConfigSource{omp, mitigate.TPHK.WithSMT(), 1}},
+		{"minife", amd, ConfigSource{sycl, mitigate.RmHK2, 1}},
+	}
+}
+
+// AccuracyStudy measures replication accuracy for a set of cases.
+type AccuracyStudy struct {
+	Cases    []AccuracyCase
+	Reps     RepCounts
+	Seed     uint64
+	Improved bool
+}
+
+// Run builds each case's config and replays it under the same workload
+// configuration it was captured from.
+func (st AccuracyStudy) Run() ([]AccuracyEntry, error) {
+	var out []AccuracyEntry
+	plats := map[string]*platform.Platform{}
+	for _, c := range st.Cases {
+		p, ok := plats[c.Platform]
+		if !ok {
+			var err error
+			p, err = platform.New(c.Platform)
+			if err != nil {
+				return nil, err
+			}
+			plats[c.Platform] = p
+		}
+		entry, err := st.runCase(p, c)
+		if err != nil {
+			return nil, fmt.Errorf("accuracy %s/%s/%s: %w", c.Workload, c.Platform, c.Source.Label(), err)
+		}
+		out = append(out, *entry)
+	}
+	return out, nil
+}
+
+func (st AccuracyStudy) runCase(p *platform.Platform, c AccuracyCase) (*AccuracyEntry, error) {
+	cfg, pr, err := BuildConfig(p, c.Workload, c.Source, st.Reps.Collect, st.Improved, st.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w, err := p.WorkloadSpec(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	spec := Spec{
+		Platform: p, Workload: w, Model: c.Source.Model, Strategy: c.Source.Strategy,
+		Seed:   seedFor(st.Seed, "acc", c.Workload, c.Source.Label()),
+		Inject: cfg,
+	}
+	times, _, err := RunSeries(spec, st.Reps.Inject)
+	if err != nil {
+		return nil, err
+	}
+	injected := stats.SummarizeTimes(times).Mean / 1000
+	anomaly := pr.Worst.ExecTime.Seconds()
+	abs, signed := Accuracy(injected, anomaly)
+	return &AccuracyEntry{
+		Benchmark:   c.Workload,
+		Platform:    p.Name,
+		Source:      c.Source,
+		AnomalySec:  anomaly,
+		InjectedSec: injected,
+		AccuracyPct: abs * 100,
+		SignedPct:   signed * 100,
+	}, nil
+}
+
+// MeanAccuracy returns the average absolute accuracy across entries (the
+// paper reports 8.57%).
+func MeanAccuracy(entries []AccuracyEntry) float64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range entries {
+		sum += e.AccuracyPct
+	}
+	return sum / float64(len(entries))
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 aggregation
+// ---------------------------------------------------------------------------
+
+// AggregateChange averages the relative performance change per (model,
+// strategy column) across all rows of the given tables — Table 6.
+// SMT rows aggregate into their model like the paper does.
+func AggregateChange(tables []*InjectionResult) map[string][]float64 {
+	sums := map[string][]float64{"omp": make([]float64, 6), "sycl": make([]float64, 6)}
+	counts := map[string][]int{"omp": make([]int, 6), "sycl": make([]int, 6)}
+	for _, t := range tables {
+		for _, sec := range t.Sections {
+			for _, row := range sec.Rows {
+				for i, cell := range row.Cells {
+					sums[row.Model][i] += cell.ChangePct
+					counts[row.Model][i]++
+				}
+			}
+		}
+	}
+	out := make(map[string][]float64)
+	for model, s := range sums {
+		avg := make([]float64, len(s))
+		for i := range s {
+			if counts[model][i] > 0 {
+				avg[i] = s[i] / float64(counts[model][i])
+			}
+		}
+		out[model] = avg
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package machine models a multicore shared-memory machine: CPU topology
+// with SMT sibling threads (Linux-style logical CPU numbering), a per-core
+// compute-rate model with SMT throughput sharing, and a shared
+// memory-bandwidth fluid model. It provides presets for the platforms the
+// paper evaluates on (AMD Ryzen 9950X3D, Intel i7-9700KF) and for the A64FX
+// systems in the motivation section.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology describes the CPU layout of a platform. Logical CPUs are numbered
+// the way Linux numbers them on these platforms: CPUs [0, Cores) are the
+// first hardware thread of each physical core and CPUs [Cores, 2*Cores) are
+// the SMT siblings (when ThreadsPerCore == 2).
+type Topology struct {
+	// Name identifies the platform, e.g. "amd-9950x3d".
+	Name string
+	// Cores is the number of physical cores.
+	Cores int
+	// ThreadsPerCore is 1 (no SMT) or 2.
+	ThreadsPerCore int
+	// BaseGHz is the sustained all-core clock in GHz.
+	BaseGHz float64
+	// SMTFactor is the per-thread throughput multiplier when both siblings
+	// of a core are busy (e.g. 0.62 means each sibling runs at 62% of the
+	// single-thread rate, 1.24x combined core throughput).
+	SMTFactor float64
+	// MemBWGBps is the total sustainable memory bandwidth in GB/s.
+	MemBWGBps float64
+	// CoreBWGBps is the bandwidth a single core can draw in GB/s.
+	CoreBWGBps float64
+	// ReservedOSCores lists physical cores hidden from user workloads and
+	// dedicated to the OS (firmware-level reservation, as on the A64FX
+	// "reserved" system in the paper's motivation). Empty on desktops.
+	ReservedOSCores []int
+}
+
+// Validate checks the topology for internal consistency.
+func (t *Topology) Validate() error {
+	switch {
+	case t.Cores <= 0:
+		return fmt.Errorf("machine: %s: Cores = %d, must be positive", t.Name, t.Cores)
+	case t.ThreadsPerCore != 1 && t.ThreadsPerCore != 2:
+		return fmt.Errorf("machine: %s: ThreadsPerCore = %d, must be 1 or 2", t.Name, t.ThreadsPerCore)
+	case t.BaseGHz <= 0:
+		return fmt.Errorf("machine: %s: BaseGHz = %v, must be positive", t.Name, t.BaseGHz)
+	case t.ThreadsPerCore == 2 && (t.SMTFactor <= 0 || t.SMTFactor > 1):
+		return fmt.Errorf("machine: %s: SMTFactor = %v, must be in (0,1]", t.Name, t.SMTFactor)
+	case t.MemBWGBps <= 0 || t.CoreBWGBps <= 0:
+		return fmt.Errorf("machine: %s: bandwidth must be positive", t.Name)
+	}
+	for _, c := range t.ReservedOSCores {
+		if c < 0 || c >= t.Cores {
+			return fmt.Errorf("machine: %s: reserved core %d out of range", t.Name, c)
+		}
+	}
+	return nil
+}
+
+// NumCPUs returns the number of logical CPUs.
+func (t *Topology) NumCPUs() int { return t.Cores * t.ThreadsPerCore }
+
+// CoreOf returns the physical core of logical CPU cpu.
+func (t *Topology) CoreOf(cpu int) int {
+	if t.ThreadsPerCore == 1 {
+		return cpu
+	}
+	return cpu % t.Cores
+}
+
+// Sibling returns the SMT sibling of cpu, or -1 when there is none.
+func (t *Topology) Sibling(cpu int) int {
+	if t.ThreadsPerCore == 1 {
+		return -1
+	}
+	if cpu < t.Cores {
+		return cpu + t.Cores
+	}
+	return cpu - t.Cores
+}
+
+// IsPrimaryThread reports whether cpu is the first hardware thread of its
+// core.
+func (t *Topology) IsPrimaryThread(cpu int) bool { return cpu < t.Cores }
+
+// CyclesPerNs returns the compute rate of one hardware thread in cycles per
+// simulated nanosecond, before SMT sharing.
+func (t *Topology) CyclesPerNs() float64 { return t.BaseGHz }
+
+// UserMask returns the mask of logical CPUs visible to user workloads,
+// excluding reserved OS cores (both hardware threads of a reserved core are
+// hidden, as on the A64FX "reserved" system).
+func (t *Topology) UserMask() CPUSet {
+	m := AllCPUs(t.NumCPUs())
+	for _, core := range t.ReservedOSCores {
+		m = m.Clear(core)
+		if t.ThreadsPerCore == 2 {
+			m = m.Clear(core + t.Cores)
+		}
+	}
+	return m
+}
+
+// ReservedMask returns the mask of logical CPUs reserved for the OS. It is
+// empty on systems without firmware core reservation.
+func (t *Topology) ReservedMask() CPUSet {
+	var m CPUSet
+	for _, core := range t.ReservedOSCores {
+		m = m.Set(core)
+		if t.ThreadsPerCore == 2 {
+			m = m.Set(core + t.Cores)
+		}
+	}
+	return m
+}
+
+// BytesPerNsCore returns the per-core bandwidth cap in bytes per nanosecond.
+func (t *Topology) BytesPerNsCore() float64 { return t.CoreBWGBps }
+
+// BytesPerNsTotal returns the machine bandwidth cap in bytes per nanosecond.
+func (t *Topology) BytesPerNsTotal() float64 { return t.MemBWGBps }
+
+// MemRate returns the per-stream memory bandwidth in bytes/ns when
+// nStreams tasks are streaming concurrently: each stream gets an equal share
+// of the machine bandwidth, capped by what a single core can draw.
+func (t *Topology) MemRate(nStreams int) float64 {
+	if nStreams <= 0 {
+		return t.BytesPerNsCore()
+	}
+	share := t.BytesPerNsTotal() / float64(nStreams)
+	return math.Min(t.BytesPerNsCore(), share)
+}

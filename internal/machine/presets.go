@@ -1,0 +1,105 @@
+package machine
+
+import "fmt"
+
+// Preset names accepted by Preset.
+const (
+	AMD9950X3D  = "amd-9950x3d"
+	Intel9700KF = "intel-9700kf"
+	A64FXRsv    = "a64fx-reserved"
+	A64FXNoRsv  = "a64fx-noreserve"
+	TinyTest    = "tiny-test" // 4 cores, no SMT; fast unit-test machine
+	TinySMTTest = "tiny-smt-test"
+)
+
+// Preset returns the topology for a named platform. The desktop presets
+// match the hardware in the paper's §5; the A64FX presets match the
+// motivation section (§3): 48 user cores, with the "reserved" variant hiding
+// two additional OS cores at firmware level.
+func Preset(name string) (*Topology, error) {
+	var t Topology
+	switch name {
+	case AMD9950X3D:
+		// 16 physical cores, 32 logical (SMT on), Zen 5. DDR5-5600 dual
+		// channel ~= 89.6 GB/s peak; ~70 GB/s sustained triad.
+		t = Topology{
+			Name:           name,
+			Cores:          16,
+			ThreadsPerCore: 2,
+			BaseGHz:        5.0,
+			SMTFactor:      0.62,
+			MemBWGBps:      70.0,
+			CoreBWGBps:     38.0,
+		}
+	case Intel9700KF:
+		// 8 physical cores, no SMT, fixed 4.7 GHz (paper's configuration).
+		// DDR4-2666 dual channel ~= 41.6 GB/s peak; ~34 GB/s sustained.
+		t = Topology{
+			Name:           name,
+			Cores:          8,
+			ThreadsPerCore: 1,
+			BaseGHz:        4.7,
+			SMTFactor:      1.0,
+			MemBWGBps:      34.0,
+			CoreBWGBps:     14.0,
+		}
+	case A64FXRsv, A64FXNoRsv:
+		// Fujitsu A64FX: 48 compute cores at 2.2 GHz, HBM2 ~830 GB/s
+		// sustained. The "reserved" configuration additionally exposes two
+		// cores that are firmware-dedicated to the OS and invisible to user
+		// applications; we model them as cores 48 and 49.
+		t = Topology{
+			Name:           name,
+			Cores:          48,
+			ThreadsPerCore: 1,
+			BaseGHz:        2.2,
+			SMTFactor:      1.0,
+			MemBWGBps:      830.0,
+			CoreBWGBps:     45.0,
+		}
+		if name == A64FXRsv {
+			t.Cores = 50
+			t.ReservedOSCores = []int{48, 49}
+		}
+	case TinyTest:
+		t = Topology{
+			Name:           name,
+			Cores:          4,
+			ThreadsPerCore: 1,
+			BaseGHz:        3.0,
+			SMTFactor:      1.0,
+			MemBWGBps:      20.0,
+			CoreBWGBps:     10.0,
+		}
+	case TinySMTTest:
+		t = Topology{
+			Name:           name,
+			Cores:          4,
+			ThreadsPerCore: 2,
+			BaseGHz:        3.0,
+			SMTFactor:      0.6,
+			MemBWGBps:      20.0,
+			CoreBWGBps:     10.0,
+		}
+	default:
+		return nil, fmt.Errorf("machine: unknown preset %q", name)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// MustPreset is Preset that panics on error; for use with known-good names.
+func MustPreset(name string) *Topology {
+	t, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PresetNames lists the available platform presets.
+func PresetNames() []string {
+	return []string{AMD9950X3D, Intel9700KF, A64FXRsv, A64FXNoRsv, TinyTest, TinySMTTest}
+}

@@ -1,0 +1,197 @@
+// Package mitigate implements the paper's mitigation strategies (§5
+// configuration labels): roaming vs thread pinning, housekeeping-core
+// reservation at 12.5% (HK) and 25% (HK2), their combinations, and SMT
+// toggling. A Strategy turns a machine topology into an execution Plan:
+// which CPUs the workload may use, how many threads to run, and each
+// thread's affinity.
+package mitigate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// Strategy describes one mitigation configuration.
+type Strategy struct {
+	// Pin fixes each workload thread to one CPU (TP); otherwise threads
+	// roam over the allowed set (Rm).
+	Pin bool
+	// HKFrac is the fraction of cores left to background system tasks:
+	// 0 (none), 0.125 (HK) or 0.25 (HK2).
+	HKFrac float64
+	// SMT runs the workload on both hardware threads of each core. When
+	// false (the default rows of the paper's tables) only the primary
+	// thread of each core is used.
+	SMT bool
+}
+
+// The six strategy columns of the paper's tables, without SMT.
+var (
+	Rm    = Strategy{}
+	RmHK  = Strategy{HKFrac: 0.125}
+	RmHK2 = Strategy{HKFrac: 0.25}
+	TP    = Strategy{Pin: true}
+	TPHK  = Strategy{Pin: true, HKFrac: 0.125}
+	TPHK2 = Strategy{Pin: true, HKFrac: 0.25}
+)
+
+// Columns returns the strategies in the paper's column order.
+func Columns() []Strategy { return []Strategy{Rm, RmHK, RmHK2, TP, TPHK, TPHK2} }
+
+// WithSMT returns a copy of s with SMT enabled.
+func (s Strategy) WithSMT() Strategy {
+	s.SMT = true
+	return s
+}
+
+// Name renders the paper's label: Rm, RmHK, RmHK2, TP, TPHK, TPHK2, with a
+// "-SMT" suffix when SMT is on.
+func (s Strategy) Name() string {
+	name := "Rm"
+	if s.Pin {
+		name = "TP"
+	}
+	switch {
+	case s.HKFrac == 0:
+	case math.Abs(s.HKFrac-0.125) < 1e-9:
+		name += "HK"
+	case math.Abs(s.HKFrac-0.25) < 1e-9:
+		name += "HK2"
+	default:
+		name += fmt.Sprintf("HK(%.3f)", s.HKFrac)
+	}
+	if s.SMT {
+		name += "-SMT"
+	}
+	return name
+}
+
+// Parse converts a label produced by Name back into a Strategy.
+func Parse(name string) (Strategy, error) {
+	s := Strategy{}
+	rest := name
+	if n, ok := cutSuffix(rest, "-SMT"); ok {
+		s.SMT = true
+		rest = n
+	}
+	switch rest {
+	case "Rm":
+	case "RmHK":
+		s.HKFrac = 0.125
+	case "RmHK2":
+		s.HKFrac = 0.25
+	case "TP":
+		s.Pin = true
+	case "TPHK":
+		s.Pin = true
+		s.HKFrac = 0.125
+	case "TPHK2":
+		s.Pin = true
+		s.HKFrac = 0.25
+	default:
+		return Strategy{}, fmt.Errorf("mitigate: unknown strategy %q", name)
+	}
+	return s, nil
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+// Plan is the concrete execution configuration derived from a strategy on a
+// machine.
+type Plan struct {
+	// Strategy echoes the input.
+	Strategy Strategy
+	// Threads is the number of workload threads (one per allowed CPU, as
+	// in the paper's experiments, which explicitly utilize all available
+	// cores).
+	Threads int
+	// Allowed is the CPU set workload threads may run on.
+	Allowed machine.CPUSet
+	// Housekeeping is the CPU set left free for background tasks (still
+	// usable by the OS and noise; just not by the workload).
+	Housekeeping machine.CPUSet
+	// PinCPUOf maps thread index to its pinned CPU; nil when roaming.
+	PinCPUOf []int
+}
+
+// AffinityOf returns the affinity mask for thread i.
+func (p *Plan) AffinityOf(i int) machine.CPUSet {
+	if p.PinCPUOf == nil {
+		return p.Allowed
+	}
+	return machine.SetOf(p.PinCPUOf[i%len(p.PinCPUOf)])
+}
+
+// Apply derives the execution plan for strategy s on topology topo.
+// Housekeeping removes whole physical cores (both hardware threads) from
+// the workload's set, choosing the highest-numbered user cores, matching
+// how the paper restricts the workload "to the remaining cores".
+func Apply(s Strategy, topo *machine.Topology) (*Plan, error) {
+	if s.HKFrac < 0 || s.HKFrac >= 1 {
+		return nil, fmt.Errorf("mitigate: housekeeping fraction %v out of [0,1)", s.HKFrac)
+	}
+	if s.SMT && topo.ThreadsPerCore < 2 {
+		return nil, fmt.Errorf("mitigate: platform %s has no SMT to enable", topo.Name)
+	}
+	user := topo.UserMask()
+	// Collect user physical cores (cores whose primary thread is visible).
+	var cores []int
+	for c := 0; c < topo.Cores; c++ {
+		if user.Has(c) {
+			cores = append(cores, c)
+		}
+	}
+	nHK := 0
+	if s.HKFrac > 0 {
+		nHK = int(math.Ceil(s.HKFrac * float64(len(cores))))
+		if nHK >= len(cores) {
+			return nil, fmt.Errorf("mitigate: housekeeping would consume all %d cores", len(cores))
+		}
+	}
+	hkCores := cores[len(cores)-nHK:]
+	workCores := cores[:len(cores)-nHK]
+
+	var allowed, hk machine.CPUSet
+	addCore := func(set machine.CPUSet, core int, smt bool) machine.CPUSet {
+		set = set.Set(core)
+		if smt && topo.ThreadsPerCore == 2 {
+			set = set.Set(core + topo.Cores)
+		}
+		return set
+	}
+	for _, c := range workCores {
+		allowed = addCore(allowed, c, s.SMT)
+	}
+	for _, c := range hkCores {
+		// Housekeeping cores are fully off-limits to the workload,
+		// including their SMT siblings.
+		hk = addCore(hk, c, true)
+	}
+
+	p := &Plan{
+		Strategy:     s,
+		Threads:      allowed.Count(),
+		Allowed:      allowed,
+		Housekeeping: hk,
+	}
+	if s.Pin {
+		p.PinCPUOf = allowed.List()
+	}
+	return p, nil
+}
+
+// MustApply is Apply that panics on error, for known-good combinations.
+func MustApply(s Strategy, topo *machine.Topology) *Plan {
+	p, err := Apply(s, topo)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,157 @@
+package mitigate
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestNames(t *testing.T) {
+	cases := map[string]Strategy{
+		"Rm":        Rm,
+		"RmHK":      RmHK,
+		"RmHK2":     RmHK2,
+		"TP":        TP,
+		"TPHK":      TPHK,
+		"TPHK2":     TPHK2,
+		"Rm-SMT":    Rm.WithSMT(),
+		"TPHK2-SMT": TPHK2.WithSMT(),
+	}
+	for want, s := range cases {
+		if got := s.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+		parsed, err := Parse(want)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", want, err)
+			continue
+		}
+		if parsed != s {
+			t.Errorf("Parse(%q) = %+v, want %+v", want, parsed, s)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse should reject unknown labels")
+	}
+}
+
+func TestColumnsOrder(t *testing.T) {
+	want := []string{"Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"}
+	cols := Columns()
+	for i, s := range cols {
+		if s.Name() != want[i] {
+			t.Fatalf("column %d = %s, want %s", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestApplyIntelHK(t *testing.T) {
+	topo := machine.MustPreset(machine.Intel9700KF) // 8 cores, no SMT
+	p := MustApply(RmHK, topo)
+	// 12.5% of 8 = 1 housekeeping core.
+	if p.Threads != 7 || p.Allowed.Count() != 7 {
+		t.Fatalf("HK on Intel: threads=%d allowed=%v", p.Threads, p.Allowed)
+	}
+	if !p.Housekeeping.Equal(machine.SetOf(7)) {
+		t.Fatalf("housekeeping = %v, want {7}", p.Housekeeping)
+	}
+	p2 := MustApply(RmHK2, topo)
+	if p2.Threads != 6 || !p2.Housekeeping.Equal(machine.SetOf(6, 7)) {
+		t.Fatalf("HK2 on Intel: %+v", p2)
+	}
+}
+
+func TestApplyAMDNoSMT(t *testing.T) {
+	topo := machine.MustPreset(machine.AMD9950X3D) // 16 cores x 2 threads
+	p := MustApply(Rm, topo)
+	// Default rows: one thread per physical core, primary threads only.
+	if p.Threads != 16 {
+		t.Fatalf("Rm threads on AMD = %d, want 16", p.Threads)
+	}
+	for _, cpu := range p.Allowed.List() {
+		if !topo.IsPrimaryThread(cpu) {
+			t.Fatalf("non-SMT plan uses secondary thread %d", cpu)
+		}
+	}
+}
+
+func TestApplyAMDSMT(t *testing.T) {
+	topo := machine.MustPreset(machine.AMD9950X3D)
+	p := MustApply(Rm.WithSMT(), topo)
+	if p.Threads != 32 {
+		t.Fatalf("SMT threads = %d, want 32", p.Threads)
+	}
+	pHK := MustApply(RmHK.WithSMT(), topo)
+	// 12.5% of 16 cores = 2 cores -> 28 logical CPUs left.
+	if pHK.Threads != 28 {
+		t.Fatalf("SMT+HK threads = %d, want 28", pHK.Threads)
+	}
+	// Housekeeping removes whole cores incl. siblings: cores 14,15 -> CPUs
+	// 14,15,30,31.
+	if !pHK.Housekeeping.Equal(machine.SetOf(14, 15, 30, 31)) {
+		t.Fatalf("housekeeping = %v", pHK.Housekeeping)
+	}
+}
+
+func TestApplySMTOnNonSMTPlatformFails(t *testing.T) {
+	topo := machine.MustPreset(machine.Intel9700KF)
+	if _, err := Apply(Rm.WithSMT(), topo); err == nil {
+		t.Fatal("SMT on non-SMT platform should error")
+	}
+}
+
+func TestApplyPinning(t *testing.T) {
+	topo := machine.MustPreset(machine.Intel9700KF)
+	p := MustApply(TP, topo)
+	if p.PinCPUOf == nil || len(p.PinCPUOf) != 8 {
+		t.Fatalf("TP pinning: %+v", p.PinCPUOf)
+	}
+	for i := 0; i < p.Threads; i++ {
+		aff := p.AffinityOf(i)
+		if aff.Count() != 1 || !aff.Has(p.PinCPUOf[i]) {
+			t.Fatalf("thread %d affinity %v", i, aff)
+		}
+	}
+	roam := MustApply(Rm, topo)
+	for i := 0; i < roam.Threads; i++ {
+		if !roam.AffinityOf(i).Equal(roam.Allowed) {
+			t.Fatal("roaming thread affinity should be the full allowed set")
+		}
+	}
+}
+
+func TestApplyHousekeepingDisjoint(t *testing.T) {
+	for _, name := range []string{machine.Intel9700KF, machine.AMD9950X3D} {
+		topo := machine.MustPreset(name)
+		for _, s := range Columns() {
+			p := MustApply(s, topo)
+			if !p.Allowed.And(p.Housekeeping).Empty() {
+				t.Fatalf("%s on %s: allowed and housekeeping overlap", s.Name(), name)
+			}
+			if p.Threads != p.Allowed.Count() {
+				t.Fatalf("%s: thread count mismatch", s.Name())
+			}
+		}
+	}
+}
+
+func TestApplyReservedCoresExcluded(t *testing.T) {
+	topo := machine.MustPreset(machine.A64FXRsv)
+	p := MustApply(Rm, topo)
+	if p.Threads != 48 {
+		t.Fatalf("A64FX reserved: threads = %d, want 48", p.Threads)
+	}
+	if p.Allowed.Has(48) || p.Allowed.Has(49) {
+		t.Fatal("firmware-reserved cores leaked into workload set")
+	}
+}
+
+func TestApplyRejectsBadFractions(t *testing.T) {
+	topo := machine.MustPreset(machine.TinyTest)
+	if _, err := Apply(Strategy{HKFrac: -0.1}, topo); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+	if _, err := Apply(Strategy{HKFrac: 0.99}, topo); err == nil {
+		t.Fatal("all-cores housekeeping should error")
+	}
+}

@@ -1,0 +1,158 @@
+// Package native is a best-effort replayer for real machines: it takes a
+// noise configuration (core.Config) and replays its CPU-occupation events
+// as busy-spinning goroutines on the host, plus a wall-clock harness for
+// timing real workload functions under that noise.
+//
+// Unlike the paper's injector (and the simulated one in internal/core) it
+// cannot use SCHED_FIFO or disable the RT throttle without root, so
+// injected noise competes with the workload at normal priority; and Go's
+// runtime does not expose CPU affinity, so "per-CPU" injector goroutines
+// are pinned to OS threads (runtime.LockOSThread) but placed by the kernel.
+// It is useful for qualitative experiments and as a template for a
+// root-privileged port; the simulation remains the reference methodology.
+package native
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Replayer replays a config on the host machine.
+type Replayer struct {
+	cfg *core.Config
+	// SpinGranularity bounds each busy-spin check interval.
+	SpinGranularity time.Duration
+}
+
+// NewReplayer validates the config and builds a native replayer.
+func NewReplayer(cfg *core.Config) (*Replayer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Replayer{cfg: cfg, SpinGranularity: 50 * time.Microsecond}, nil
+}
+
+// toDuration converts simulated nanoseconds to wall nanoseconds (1:1).
+func toDuration(t sim.Time) time.Duration { return time.Duration(t) }
+
+// Run spawns one injector goroutine per configured CPU and replays the
+// event schedule relative to start. It returns when every goroutine has
+// finished its list or ctx is cancelled (the workload-completion early
+// termination).
+func (r *Replayer) Run(ctx context.Context, start time.Time) error {
+	var wg sync.WaitGroup
+	for _, ce := range r.cfg.CPUs {
+		events := ce.Events
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One OS thread per injector process, as in the paper; the
+			// kernel decides placement (no affinity).
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			for _, ev := range events {
+				if !sleepUntil(ctx, start.Add(toDuration(ev.Start))) {
+					return
+				}
+				r.spin(ctx, toDuration(ev.Duration))
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		<-done // goroutines observe cancellation promptly
+		return ctx.Err()
+	}
+}
+
+// sleepUntil sleeps until the deadline or cancellation; it reports whether
+// the deadline was reached.
+func sleepUntil(ctx context.Context, deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// spin occupies the current OS thread for roughly d of wall time.
+func (r *Replayer) spin(ctx context.Context, d time.Duration) {
+	end := time.Now().Add(d)
+	x := uint64(1)
+	for time.Now().Before(end) {
+		// A short arithmetic burst between clock checks.
+		for i := 0; i < 2000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+	sink = x
+}
+
+// sink defeats dead-code elimination of the spin loop.
+var sink uint64
+
+// TimedRun measures fn under replayed noise: the injectors and fn start
+// together; injection stops when fn returns.
+func (r *Replayer) TimedRun(fn func()) (time.Duration, error) {
+	if fn == nil {
+		return 0, fmt.Errorf("native: nil workload")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() { errCh <- r.Run(ctx, start) }()
+	fn()
+	elapsed := time.Since(start)
+	cancel()
+	<-errCh // wait for injectors to unwind
+	return elapsed, nil
+}
+
+// Benchmark measures fn reps times without noise and reps times with it,
+// returning mean wall durations.
+func (r *Replayer) Benchmark(fn func(), reps int) (base, injected time.Duration, err error) {
+	if reps <= 0 {
+		return 0, 0, fmt.Errorf("native: reps must be positive")
+	}
+	var baseSum, injSum time.Duration
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		baseSum += time.Since(t0)
+	}
+	for i := 0; i < reps; i++ {
+		d, err := r.TimedRun(fn)
+		if err != nil {
+			return 0, 0, err
+		}
+		injSum += d
+	}
+	return baseSum / time.Duration(reps), injSum / time.Duration(reps), nil
+}

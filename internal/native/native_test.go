@@ -1,0 +1,122 @@
+package native
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+)
+
+func smallConfig(start, dur sim.Time) *core.Config {
+	return &core.Config{
+		Window: sim.Second,
+		CPUs: []core.CPUEvents{{CPU: 0, Events: []core.NoiseEvent{{
+			Start: start, Duration: dur,
+			Policy: "SCHED_OTHER", Class: cpusched.ClassThread, Source: "test",
+		}}}},
+	}
+}
+
+func TestNewReplayerValidates(t *testing.T) {
+	if _, err := NewReplayer(&core.Config{Window: 0}); err == nil {
+		t.Fatal("invalid config should be rejected")
+	}
+	if _, err := NewReplayer(smallConfig(0, sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompletesSchedule(t *testing.T) {
+	r, err := NewReplayer(smallConfig(2*sim.Millisecond, 3*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := r.Run(context.Background(), start); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Schedule ends at 5ms; allow generous slack for CI machines.
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("replay finished too early: %v", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("replay took too long: %v", elapsed)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	// An event far in the future: cancellation must win.
+	r, err := NewReplayer(smallConfig(10*sim.Second, sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx, time.Now()) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled run should report context error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not stop the replayer")
+	}
+}
+
+func TestTimedRunStopsInjectionEarly(t *testing.T) {
+	// Workload finishes quickly; the pending far-future event must not
+	// hold TimedRun open.
+	r, err := NewReplayer(smallConfig(10*sim.Second, sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	d, err := r.TimedRun(func() { time.Sleep(5 * time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 4*time.Millisecond {
+		t.Fatalf("measured %v, want >= ~5ms", d)
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Fatal("TimedRun did not terminate injection early")
+	}
+}
+
+func TestTimedRunNilWorkload(t *testing.T) {
+	r, _ := NewReplayer(smallConfig(0, sim.Millisecond))
+	if _, err := r.TimedRun(nil); err == nil {
+		t.Fatal("nil workload should error")
+	}
+}
+
+func TestBenchmarkRepsValidation(t *testing.T) {
+	r, _ := NewReplayer(smallConfig(0, sim.Millisecond))
+	if _, _, err := r.Benchmark(func() {}, 0); err == nil {
+		t.Fatal("zero reps should error")
+	}
+}
+
+func TestBenchmarkRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	r, _ := NewReplayer(smallConfig(0, 2*sim.Millisecond))
+	base, injected, err := r.Benchmark(func() {
+		end := time.Now().Add(3 * time.Millisecond)
+		for time.Now().Before(end) {
+		}
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= 0 || injected <= 0 {
+		t.Fatalf("benchmark durations: base=%v injected=%v", base, injected)
+	}
+}

@@ -1,0 +1,270 @@
+package noise
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Generator drives a profile's noise sources against a scheduler until a
+// horizon time. Each source draws from its own RNG stream, so adding or
+// removing one source does not perturb the others.
+type Generator struct {
+	s       *cpusched.Scheduler
+	p       Profile
+	horizon sim.Time
+	// Spawned counts noise tasks created, for diagnostics.
+	Spawned int
+	// IRQs counts interrupts injected.
+	IRQs int
+}
+
+// Attach starts all noise sources of profile p on scheduler s, generating
+// events from the current simulated time until horizon. The rng should be a
+// dedicated stream (e.g. root.Stream("noise")).
+func Attach(s *cpusched.Scheduler, p Profile, rng *sim.RNG, horizon sim.Time) *Generator {
+	g := &Generator{s: s, p: p, horizon: horizon}
+	topo := s.Topology()
+	ncpu := topo.NumCPUs()
+
+	if p.TimerHz > 0 {
+		for cpu := 0; cpu < ncpu; cpu++ {
+			g.timerLoop(cpu, rng.Stream(fmt.Sprintf("timer/%d", cpu)))
+		}
+	}
+	if p.KworkerRate > 0 {
+		for cpu := 0; cpu < ncpu; cpu++ {
+			if !g.threadAllowedOn(cpu) {
+				continue
+			}
+			g.kworkerLoop(cpu, rng.Stream(fmt.Sprintf("kworker/%d", cpu)))
+		}
+	}
+	if p.UnboundRate > 0 {
+		g.unboundLoop(rng.Stream("kworker-unbound"))
+	}
+	if p.DaemonRate > 0 && len(p.DaemonSources) > 0 {
+		g.daemonLoop(rng.Stream("daemons"), p.DaemonSources, p.DaemonRate,
+			p.DaemonDurMin, p.DaemonAlpha, p.DaemonDurCap, "daemon")
+	}
+	if p.GUI && p.GUIRate > 0 && len(p.GUISources) > 0 {
+		g.daemonLoop(rng.Stream("gui"), p.GUISources, p.GUIRate,
+			p.GUIDurMin, p.GUIAlpha, p.GUIDurCap, "gui")
+	}
+	if p.DiskRate > 0 && p.DiskIRQs > 0 && p.DiskCPU >= 0 && p.DiskCPU < ncpu {
+		g.diskLoop(rng.Stream("disk"))
+	}
+	return g
+}
+
+// diskLoop fires block-device interrupt storms on the device's steered CPU
+// followed by a writeback flush kworker.
+func (g *Generator) diskLoop(rng *sim.RNG) {
+	eng := g.s.Engine()
+	cycles := g.s.Topology().CyclesPerNs()
+	var next func()
+	next = func() {
+		if eng.Now() > g.horizon {
+			return
+		}
+		n := 1 + rng.Intn(g.p.DiskIRQs)
+		for k := 0; k < n; k++ {
+			k := k
+			gap := sim.Time(rng.LogNormalMean(float64(30*sim.Microsecond), 0.8))
+			eng.After(sim.Time(k)*gap, func() {
+				dur := sim.Time(rng.LogNormalMean(float64(g.p.DiskIRQDur), 0.5))
+				if dur < 500 {
+					dur = 500
+				}
+				g.s.InjectIRQ(g.p.DiskCPU, cpusched.ClassIRQ, "nvme0q1:130", dur)
+				g.IRQs++
+			})
+		}
+		if g.p.DiskFlushDur > 0 {
+			work := float64(rng.Jitter(g.p.DiskFlushDur, 0.3)) * cycles
+			g.s.Spawn(cpusched.TaskSpec{
+				Name:     "flush",
+				Source:   "kworker/u9:flush-259:0",
+				Kind:     cpusched.KindNoiseThread,
+				Affinity: g.threadAffinity(),
+			}, func(c *cpusched.Ctx) { c.Compute(work) })
+			g.Spawned++
+		}
+		eng.After(sim.Time(rng.ExpFloat64(g.p.DiskRate)*1e9), next)
+	}
+	eng.After(sim.Time(rng.ExpFloat64(g.p.DiskRate)*1e9), next)
+}
+
+func (g *Generator) threadAllowedOn(cpu int) bool {
+	return g.p.ThreadMask.Empty() || g.p.ThreadMask.Has(cpu)
+}
+
+func (g *Generator) threadAffinity() machine.CPUSet {
+	if g.p.ThreadMask.Empty() {
+		return machine.AllCPUs(g.s.Topology().NumCPUs())
+	}
+	return g.p.ThreadMask
+}
+
+// timerLoop fires local_timer interrupts at TimerHz with jitter, each
+// optionally followed by softirq work, mirroring how timer ticks raise
+// softirqs on Linux.
+func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
+	period := sim.Time(1e9 / g.p.TimerHz)
+	eng := g.s.Engine()
+	// Desynchronize CPUs: first tick at a random phase.
+	first := eng.Now() + sim.Time(rng.Float64()*float64(period))
+	var tick func()
+	tick = func() {
+		if eng.Now() > g.horizon {
+			return
+		}
+		dur := sim.Time(rng.LogNormalMean(float64(g.p.TimerDur), g.p.TimerDurSigma))
+		if dur < 100 {
+			dur = 100
+		}
+		g.s.InjectIRQ(cpu, cpusched.ClassIRQ, "local_timer:236", dur)
+		g.IRQs++
+		// Iterate softirq sources in sorted order: map iteration order
+		// would make runs nondeterministic.
+		for _, sp := range softirqOrder(g.p.SoftIRQProb) {
+			if rng.Bool(sp.prob) {
+				d := sim.Time(rng.LogNormalMean(float64(g.p.SoftIRQDur[sp.src]), 0.8))
+				if d < 100 {
+					d = 100
+				}
+				g.s.InjectIRQ(cpu, cpusched.ClassSoftIRQ, sp.src, d)
+				g.IRQs++
+			}
+		}
+		eng.After(rng.Jitter(period, 0.05), tick)
+	}
+	eng.At(first, tick)
+}
+
+type srcProb struct {
+	src  string
+	prob float64
+}
+
+// softirqOrder returns softirq sources in deterministic (sorted) order.
+func softirqOrder(m map[string]float64) []srcProb {
+	out := make([]srcProb, 0, len(m))
+	for src, p := range m {
+		out = append(out, srcProb{src, p})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].src < out[j-1].src; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// kworkerLoop spawns bound kworker threads on one CPU at Poisson arrivals.
+func (g *Generator) kworkerLoop(cpu int, rng *sim.RNG) {
+	eng := g.s.Engine()
+	cycles := g.s.Topology().CyclesPerNs()
+	var next func()
+	next = func() {
+		if eng.Now() > g.horizon {
+			return
+		}
+		dur := sim.Time(rng.LogNormalMean(float64(g.p.KworkerDur), g.p.KworkerDurSigma))
+		if dur < sim.Microsecond {
+			dur = sim.Microsecond
+		}
+		work := float64(dur) * cycles
+		g.s.Spawn(cpusched.TaskSpec{
+			Name:     "kworker",
+			Source:   fmt.Sprintf("kworker/%d:1", cpu),
+			Kind:     cpusched.KindNoiseThread,
+			Affinity: machine.SetOf(cpu),
+		}, func(c *cpusched.Ctx) { c.Compute(work) })
+		g.Spawned++
+		gap := sim.Time(rng.ExpFloat64(g.p.KworkerRate) * 1e9)
+		eng.After(gap, next)
+	}
+	eng.After(sim.Time(rng.ExpFloat64(g.p.KworkerRate)*1e9), next)
+}
+
+// unboundLoop spawns unbound kworkers that roam (or are confined to the
+// reserved mask).
+func (g *Generator) unboundLoop(rng *sim.RNG) {
+	eng := g.s.Engine()
+	cycles := g.s.Topology().CyclesPerNs()
+	aff := g.threadAffinity()
+	id := 0
+	var next func()
+	next = func() {
+		if eng.Now() > g.horizon {
+			return
+		}
+		id++
+		dur := sim.Time(rng.LogNormalMean(float64(g.p.UnboundDur), g.p.UnboundDurSigma))
+		if dur < sim.Microsecond {
+			dur = sim.Microsecond
+		}
+		work := float64(dur) * cycles
+		g.s.Spawn(cpusched.TaskSpec{
+			Name:     "kworker-u",
+			Source:   fmt.Sprintf("kworker/u%d:%d", g.s.Topology().NumCPUs()*4+1, id%8),
+			Kind:     cpusched.KindNoiseThread,
+			Affinity: aff,
+		}, func(c *cpusched.Ctx) { c.Compute(work) })
+		g.Spawned++
+		eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
+	}
+	eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
+}
+
+// daemonLoop spawns heavy-tailed background daemon bursts. A burst may be
+// split across a few shorter on-CPU stints separated by sleeps, as real
+// daemons behave.
+func (g *Generator) daemonLoop(rng *sim.RNG, sources []string, rate float64,
+	durMin sim.Time, alpha float64, durCap sim.Time, label string) {
+	eng := g.s.Engine()
+	cycles := g.s.Topology().CyclesPerNs()
+	aff := g.threadAffinity()
+	var next func()
+	next = func() {
+		if eng.Now() > g.horizon {
+			return
+		}
+		src := sources[rng.Intn(len(sources))]
+		total := sim.Time(rng.Pareto(float64(durMin), alpha))
+		if total > durCap {
+			total = durCap
+		}
+		// Large bursts run multi-threaded (indexing storms, compositor
+		// plus clients): they spread across CPUs and can overwhelm a
+		// single housekeeping core.
+		workers := 1
+		if g.p.BurstFanout > 1 && total > g.p.BurstFanoutThreshold {
+			workers = 2 + rng.Intn(g.p.BurstFanout-1)
+		}
+		per := float64(total) / float64(workers)
+		for w := 0; w < workers; w++ {
+			stints := 1 + rng.Intn(3)
+			stint := per / float64(stints)
+			g.s.Spawn(cpusched.TaskSpec{
+				Name:     label,
+				Source:   src,
+				Kind:     cpusched.KindNoiseThread,
+				Affinity: aff,
+			}, func(c *cpusched.Ctx) {
+				for i := 0; i < stints; i++ {
+					c.Compute(stint * cycles)
+					if i < stints-1 {
+						c.Sleep(sim.Time(stint / 2))
+					}
+				}
+			})
+			g.Spawned++
+		}
+		eng.After(sim.Time(rng.ExpFloat64(rate)*1e9), next)
+	}
+	eng.After(sim.Time(rng.ExpFloat64(rate)*1e9), next)
+}

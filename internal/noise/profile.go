@@ -1,0 +1,168 @@
+// Package noise generates natural OS background noise on the simulated
+// machine: per-CPU timer interrupts, softirqs (RCU/SCHED/TIMER), per-CPU and
+// unbound kworkers, and heavy-tailed background daemons (including
+// GUI/compositor activity when the system runs at runlevel 5). The
+// heavy-tailed daemon bursts are what produce the rare worst-case outliers
+// the paper's injector captures and replays.
+package noise
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Profile parameterizes the noise sources of one platform configuration.
+type Profile struct {
+	// Name labels the profile.
+	Name string
+
+	// TimerHz is the per-CPU timer interrupt frequency (CONFIG_HZ).
+	TimerHz float64
+	// TimerDur is the mean local_timer handler duration.
+	TimerDur sim.Time
+	// TimerDurSigma is the log-space spread of timer durations.
+	TimerDurSigma float64
+
+	// SoftIRQProb is the probability that a timer tick is followed by each
+	// softirq source; SoftIRQDur the mean duration per source.
+	SoftIRQProb map[string]float64
+	SoftIRQDur  map[string]sim.Time
+
+	// KworkerRate is the per-CPU Poisson rate (events/sec) of bound
+	// kworker activity; durations are log-normal.
+	KworkerRate     float64
+	KworkerDur      sim.Time
+	KworkerDurSigma float64
+
+	// UnboundRate is the machine-wide rate of unbound kworkers.
+	UnboundRate     float64
+	UnboundDur      sim.Time
+	UnboundDurSigma float64
+
+	// DaemonRate is the machine-wide rate of background daemon activity
+	// (systemd, journald, irqbalance, ...). Durations are Pareto
+	// heavy-tailed: DaemonDurMin with shape DaemonAlpha, capped at
+	// DaemonDurCap. These bursts produce worst-case outliers.
+	DaemonRate    float64
+	DaemonDurMin  sim.Time
+	DaemonAlpha   float64
+	DaemonDurCap  sim.Time
+	DaemonSources []string
+	// BurstFanout is the maximum number of concurrent worker threads a
+	// large daemon/GUI burst spreads across (indexing storms, compositor
+	// frames and their clients run multi-threaded). Bursts longer than
+	// BurstFanoutThreshold split across 2..BurstFanout parallel threads,
+	// which is what lets heavy bursts overwhelm a single housekeeping
+	// core. 0 disables fanout.
+	BurstFanout          int
+	BurstFanoutThreshold sim.Time
+
+	// GUI enables desktop compositor/display-server noise (runlevel 5).
+	// Disabling it models the paper's runlevel-3 re-runs.
+	GUI        bool
+	GUIRate    float64
+	GUIDurMin  sim.Time
+	GUIAlpha   float64
+	GUIDurCap  sim.Time
+	GUISources []string
+
+	// Disk I/O activity: storms of block-device completion interrupts on
+	// DiskCPU (device interrupts are steered, not balanced), each
+	// followed by a writeback kworker flush. DiskRate is storms/sec; 0
+	// disables.
+	DiskRate     float64
+	DiskCPU      int
+	DiskIRQs     int      // interrupts per storm
+	DiskIRQDur   sim.Time // per interrupt
+	DiskFlushDur sim.Time // kworker flush after the storm
+
+	// ThreadMask, when non-empty, confines all thread noise (kworkers and
+	// daemons) to these CPUs — the firmware core reservation of the A64FX
+	// "reserved" system. Interrupts still fire on every CPU.
+	ThreadMask machine.CPUSet
+}
+
+// Scale returns a copy with all rates multiplied by f (noise intensity).
+func (p Profile) Scale(f float64) Profile {
+	p.TimerHz *= f
+	p.KworkerRate *= f
+	p.UnboundRate *= f
+	p.DaemonRate *= f
+	p.GUIRate *= f
+	p.DiskRate *= f
+	return p
+}
+
+// WithRunlevel3 returns a copy with GUI noise disabled.
+func (p Profile) WithRunlevel3() Profile {
+	p.GUI = false
+	return p
+}
+
+// Desktop returns the noise profile of an Ubuntu desktop (runlevel 5), used
+// for both the AMD and Intel platforms.
+func Desktop() Profile {
+	return Profile{
+		Name:          "desktop",
+		TimerHz:       250,
+		TimerDur:      2 * sim.Microsecond,
+		TimerDurSigma: 0.6,
+		SoftIRQProb: map[string]float64{
+			"RCU:9":   0.35,
+			"SCHED:7": 0.30,
+			"TIMER:1": 0.15,
+		},
+		SoftIRQDur: map[string]sim.Time{
+			"RCU:9":   3 * sim.Microsecond,
+			"SCHED:7": 5 * sim.Microsecond,
+			"TIMER:1": 2 * sim.Microsecond,
+		},
+		KworkerRate:          6,
+		KworkerDur:           40 * sim.Microsecond,
+		KworkerDurSigma:      1.2,
+		UnboundRate:          12,
+		UnboundDur:           120 * sim.Microsecond,
+		UnboundDurSigma:      1.4,
+		DaemonRate:           3.0,
+		DaemonDurMin:         1 * sim.Millisecond,
+		DaemonAlpha:          1.0,
+		DaemonDurCap:         600 * sim.Millisecond,
+		DaemonSources:        []string{"systemd-journal", "containerd", "irqbalance", "snapd"},
+		GUI:                  true,
+		GUIRate:              2.0,
+		GUIDurMin:            1 * sim.Millisecond,
+		GUIAlpha:             1.1,
+		GUIDurCap:            400 * sim.Millisecond,
+		GUISources:           []string{"gnome-shell", "Xorg"},
+		BurstFanout:          6,
+		BurstFanoutThreshold: 40 * sim.Millisecond,
+		DiskRate:             0.8,
+		DiskCPU:              0,
+		DiskIRQs:             40,
+		DiskIRQDur:           5 * sim.Microsecond,
+		DiskFlushDur:         150 * sim.Microsecond,
+	}
+}
+
+// HPC returns the much quieter profile of a compute-node OS image (the
+// A64FX systems of the motivation section): no GUI, fewer daemons.
+func HPC() Profile {
+	p := Desktop()
+	p.Name = "hpc"
+	p.GUI = false
+	p.KworkerRate = 3
+	p.UnboundRate = 5
+	p.DaemonRate = 1.2
+	p.DaemonDurCap = 120 * sim.Millisecond
+	p.DaemonSources = []string{"slurmd", "munged", "systemd-journal"}
+	return p
+}
+
+// HPCReserved returns the A64FX profile with firmware core reservation:
+// all thread noise is confined to the reserved OS cores.
+func HPCReserved(topo *machine.Topology) Profile {
+	p := HPC()
+	p.Name = "hpc-reserved"
+	p.ThreadMask = topo.ReservedMask()
+	return p
+}

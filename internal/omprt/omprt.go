@@ -1,0 +1,289 @@
+// Package omprt models an OpenMP-style runtime on the simulated scheduler:
+// a fork-join thread team with static, dynamic, and guided loop schedules,
+// configurable chunk sizes, an active (spinning) or passive wait policy,
+// and small fork/dispatch overheads. Its noise sensitivity is structural:
+// with the default static schedule every region ends in a barrier that a
+// single delayed thread holds up — the straggler effect the paper observes
+// for OpenMP under injected noise.
+package omprt
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/mitigate"
+	"repro/internal/parmodel"
+	"repro/internal/sim"
+)
+
+// Schedule is the OpenMP loop schedule kind.
+type Schedule int
+
+const (
+	// Static divides iterations contiguously (chunk 0) or round-robin in
+	// fixed chunks.
+	Static Schedule = iota
+	// Dynamic hands out chunks first-come-first-served.
+	Dynamic
+	// Guided hands out exponentially shrinking chunks.
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "?"
+	}
+}
+
+// ParseSchedule parses "st"/"static", "dy"/"dynamic", "gd"/"guided" — the
+// short forms are the x-axis labels of the paper's Figure 1.
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "st", "static":
+		return Static, nil
+	case "dy", "dynamic":
+		return Dynamic, nil
+	case "gd", "guided":
+		return Guided, nil
+	default:
+		return 0, fmt.Errorf("omprt: unknown schedule %q", s)
+	}
+}
+
+// Config tunes the runtime model.
+type Config struct {
+	// Schedule and Chunk select the loop schedule (chunk 0 = default:
+	// contiguous static ranges / chunk 1 for dynamic-guided minimum).
+	Schedule Schedule
+	Chunk    int
+	// ActiveWait spins at region-end barriers (OMP_WAIT_POLICY=active
+	// flavour); passive blocks.
+	ActiveWait bool
+	// ForkOverhead is master-side work per parallel region.
+	ForkOverhead sim.Time
+	// DispatchOverhead is per-chunk claim cost for dynamic/guided.
+	DispatchOverhead sim.Time
+	// CostFactor scales every unit's cost (compiler/runtime efficiency).
+	CostFactor float64
+}
+
+// DefaultConfig returns the model constants used for the paper's OpenMP
+// runs: static schedule, active waiting, low overheads.
+func DefaultConfig() Config {
+	return Config{
+		Schedule:         Static,
+		Chunk:            0,
+		ActiveWait:       true,
+		ForkOverhead:     4 * sim.Microsecond,
+		DispatchOverhead: 150, // ns
+		CostFactor:       1.0,
+	}
+}
+
+type loopState struct {
+	n    int
+	cost func(int) parmodel.Cost
+	next int // shared claim cursor for dynamic/guided
+}
+
+// Team is an OpenMP-style thread team bound to a scheduler and a mitigation
+// plan.
+type Team struct {
+	s    *cpusched.Scheduler
+	plan *mitigate.Plan
+	cfg  Config
+
+	startBar *cpusched.Barrier
+	endBar   *cpusched.Barrier
+	loop     *loopState
+	stop     bool
+
+	cyclesPerNs float64
+
+	masterCtx *cpusched.Ctx
+	master    *cpusched.Task
+	workers   []*cpusched.Task
+}
+
+// Start creates the team (master + workers, spawned immediately; workers
+// park at the region barrier) and runs body on the master thread. It
+// returns the master task; the caller drives the engine until it is done.
+func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel.Body) *Team {
+	if cfg.CostFactor <= 0 {
+		cfg.CostFactor = 1.0
+	}
+	t := &Team{
+		s:           s,
+		plan:        plan,
+		cfg:         cfg,
+		startBar:    cpusched.NewBarrier(plan.Threads),
+		endBar:      cpusched.NewBarrier(plan.Threads),
+		cyclesPerNs: s.Topology().CyclesPerNs(),
+	}
+	// Workers are threads 1..N-1; master is thread 0.
+	for i := 1; i < plan.Threads; i++ {
+		i := i
+		w := s.Spawn(cpusched.TaskSpec{
+			Name:     fmt.Sprintf("omp-worker-%d", i),
+			Kind:     cpusched.KindWorkload,
+			Affinity: plan.AffinityOf(i),
+		}, func(ctx *cpusched.Ctx) { t.workerLoop(ctx, i) })
+		t.workers = append(t.workers, w)
+	}
+	t.master = s.Spawn(cpusched.TaskSpec{
+		Name:     "omp-master",
+		Kind:     cpusched.KindWorkload,
+		Affinity: plan.AffinityOf(0),
+	}, func(ctx *cpusched.Ctx) {
+		t.masterCtx = ctx
+		body(t)
+		t.shutdownWorkers()
+	})
+	return t
+}
+
+// Master returns the master task (the workload's completion handle).
+func (t *Team) Master() *cpusched.Task { return t.master }
+
+var _ parmodel.Model = (*Team)(nil)
+
+// Threads implements parmodel.Model.
+func (t *Team) Threads() int { return t.plan.Threads }
+
+// Name implements parmodel.Model.
+func (t *Team) Name() string { return "omp" }
+
+// MasterCompute implements parmodel.Model.
+func (t *Team) MasterCompute(cycles float64) {
+	t.masterCtx.Compute(cycles * t.cfg.CostFactor)
+}
+
+// MasterMemory implements parmodel.Model.
+func (t *Team) MasterMemory(bytes float64) {
+	t.masterCtx.Memory(bytes * t.cfg.CostFactor)
+}
+
+// ParallelFor implements parmodel.Model: one parallel region with an
+// implicit end barrier.
+func (t *Team) ParallelFor(n int, cost func(int) parmodel.Cost) {
+	if n < 0 {
+		panic("omprt: negative trip count")
+	}
+	t.loop = &loopState{n: n, cost: cost}
+	// Region fork: master-side setup work.
+	t.masterCtx.Compute(float64(t.cfg.ForkOverhead) * t.cyclesPerNs)
+	if t.plan.Threads == 1 {
+		t.runChunks(t.masterCtx, 0)
+		return
+	}
+	t.masterCtx.Barrier(t.startBar, false) // releases parked workers
+	t.runChunks(t.masterCtx, 0)
+	t.masterCtx.Barrier(t.endBar, t.cfg.ActiveWait)
+}
+
+func (t *Team) workerLoop(ctx *cpusched.Ctx, id int) {
+	for {
+		ctx.Barrier(t.startBar, false)
+		if t.stop {
+			return
+		}
+		t.runChunks(ctx, id)
+		ctx.Barrier(t.endBar, t.cfg.ActiveWait)
+	}
+}
+
+func (t *Team) shutdownWorkers() {
+	if t.plan.Threads == 1 {
+		return
+	}
+	t.stop = true
+	t.masterCtx.Barrier(t.startBar, false)
+}
+
+// runChunks executes thread id's share of the current loop.
+func (t *Team) runChunks(ctx *cpusched.Ctx, id int) {
+	l := t.loop
+	T := t.plan.Threads
+	switch t.cfg.Schedule {
+	case Static:
+		if t.cfg.Chunk <= 0 {
+			lo := id * l.n / T
+			hi := (id + 1) * l.n / T
+			t.execRange(ctx, lo, hi)
+			return
+		}
+		// Round-robin fixed chunks.
+		for base := id * t.cfg.Chunk; base < l.n; base += T * t.cfg.Chunk {
+			hi := base + t.cfg.Chunk
+			if hi > l.n {
+				hi = l.n
+			}
+			t.execRange(ctx, base, hi)
+		}
+	case Dynamic:
+		chunk := t.cfg.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for {
+			t.dispatchCost(ctx)
+			lo := l.next
+			if lo >= l.n {
+				return
+			}
+			hi := lo + chunk
+			if hi > l.n {
+				hi = l.n
+			}
+			l.next = hi
+			t.execRange(ctx, lo, hi)
+		}
+	case Guided:
+		minChunk := t.cfg.Chunk
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		for {
+			t.dispatchCost(ctx)
+			lo := l.next
+			if lo >= l.n {
+				return
+			}
+			size := (l.n - lo + 2*T - 1) / (2 * T)
+			if size < minChunk {
+				size = minChunk
+			}
+			hi := lo + size
+			if hi > l.n {
+				hi = l.n
+			}
+			l.next = hi
+			t.execRange(ctx, lo, hi)
+		}
+	default:
+		panic("omprt: unknown schedule")
+	}
+}
+
+func (t *Team) dispatchCost(ctx *cpusched.Ctx) {
+	if t.cfg.DispatchOverhead > 0 {
+		ctx.Compute(float64(t.cfg.DispatchOverhead) * t.cyclesPerNs)
+	}
+}
+
+func (t *Team) execRange(ctx *cpusched.Ctx, lo, hi int) {
+	var total parmodel.Cost
+	for i := lo; i < hi; i++ {
+		total = total.Add(t.loop.cost(i))
+	}
+	total = total.Scale(t.cfg.CostFactor)
+	ctx.Compute(total.Cycles)
+	ctx.Memory(total.Bytes)
+}

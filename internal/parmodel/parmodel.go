@@ -1,0 +1,42 @@
+// Package parmodel defines the interface between workload cost models and
+// the parallel runtime models (omprt, syclrt): a workload is a function of
+// a Model, and a Model executes parallel loops of costed work units on the
+// simulated machine. The two runtime implementations differ exactly where
+// the paper says OpenMP and SYCL differ: work distribution policy,
+// synchronization style, and fixed runtime overheads.
+package parmodel
+
+// Cost is the machine demand of one work unit: CPU cycles and bytes of
+// memory traffic. Work units are coarse by design (a block of iterations,
+// a work-group), keeping the simulation event count tractable.
+type Cost struct {
+	Cycles float64
+	Bytes  float64
+}
+
+// Add returns the sum of two costs.
+func (c Cost) Add(o Cost) Cost { return Cost{c.Cycles + o.Cycles, c.Bytes + o.Bytes} }
+
+// Scale returns the cost multiplied by f.
+func (c Cost) Scale(f float64) Cost { return Cost{c.Cycles * f, c.Bytes * f} }
+
+// Model is a parallel runtime executing work on the simulated machine. All
+// methods must be called from the workload body function passed to the
+// runtime's Start.
+type Model interface {
+	// ParallelFor executes n work units, unit i costing cost(i), across
+	// the team, then synchronizes (implicit end-of-region barrier /
+	// kernel completion wait).
+	ParallelFor(n int, cost func(i int) Cost)
+	// MasterCompute runs serial compute on the master/host thread.
+	MasterCompute(cycles float64)
+	// MasterMemory streams bytes on the master/host thread.
+	MasterMemory(bytes float64)
+	// Threads returns the team/worker-pool size.
+	Threads() int
+	// Name identifies the runtime ("omp" or "sycl").
+	Name() string
+}
+
+// Body is a workload expressed against a runtime model.
+type Body func(Model)

@@ -1,0 +1,40 @@
+package parmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{Cycles: 10, Bytes: 5}
+	b := Cost{Cycles: 3, Bytes: 7}
+	got := a.Add(b)
+	if got.Cycles != 13 || got.Bytes != 12 {
+		t.Fatalf("Add = %+v", got)
+	}
+}
+
+func TestCostScale(t *testing.T) {
+	c := Cost{Cycles: 10, Bytes: 4}.Scale(2.5)
+	if c.Cycles != 25 || c.Bytes != 10 {
+		t.Fatalf("Scale = %+v", c)
+	}
+}
+
+// Property: Add is commutative and Scale distributes over Add.
+func TestCostAlgebra(t *testing.T) {
+	f := func(ac, ab, bc, bb int16, s uint8) bool {
+		a := Cost{Cycles: float64(ac), Bytes: float64(ab)}
+		b := Cost{Cycles: float64(bc), Bytes: float64(bb)}
+		f := float64(s)
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		lhs := a.Add(b).Scale(f)
+		rhs := a.Scale(f).Add(b.Scale(f))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

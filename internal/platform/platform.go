@@ -1,0 +1,108 @@
+// Package platform bundles everything that defines one experimental
+// platform in the paper: the machine topology, its natural noise profile,
+// the scheduler options, and per-platform workload problem sizes (the paper
+// sizes its workloads per machine; we derive sizes from the baseline
+// execution times its tables imply).
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/workloads"
+)
+
+// Platform is one experimental platform configuration.
+type Platform struct {
+	// Name is the preset name ("intel-9700kf", "amd-9950x3d",
+	// "a64fx-reserved", "a64fx-noreserve").
+	Name string
+	// Topo is the machine model.
+	Topo *machine.Topology
+	// Noise is the natural background-noise profile.
+	Noise noise.Profile
+	// SchedOpt is the scheduler configuration.
+	SchedOpt cpusched.Options
+	// HasSMT reports whether SMT rows exist in the paper's tables for
+	// this platform.
+	HasSMT bool
+}
+
+// New returns the named platform.
+func New(name string) (*Platform, error) {
+	topo, err := machine.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{Name: name, Topo: topo, SchedOpt: cpusched.Defaults()}
+	switch name {
+	case machine.AMD9950X3D:
+		p.Noise = noise.Desktop()
+		p.HasSMT = true
+	case machine.Intel9700KF:
+		p.Noise = noise.Desktop()
+	case machine.A64FXRsv:
+		p.Noise = noise.HPCReserved(topo)
+	case machine.A64FXNoRsv:
+		p.Noise = noise.HPC()
+	case machine.TinyTest, machine.TinySMTTest:
+		p.Noise = noise.Desktop()
+		p.HasSMT = name == machine.TinySMTTest
+	default:
+		return nil, fmt.Errorf("platform: no profile for %q", name)
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string) *Platform {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists platforms with full experiment support.
+func Names() []string {
+	return []string{machine.Intel9700KF, machine.AMD9950X3D, machine.A64FXRsv, machine.A64FXNoRsv}
+}
+
+// WorkloadSpec returns the platform-sized cost model for a workload name.
+// Sizes are calibrated so simulated baseline execution times land near the
+// paper's reported baselines (see EXPERIMENTS.md for the mapping).
+func (p *Platform) WorkloadSpec(name string) (workloads.Workload, error) {
+	switch name {
+	case "nbody":
+		s := workloads.DefaultNBodySpec()
+		if p.Name == machine.AMD9950X3D {
+			// AMD baseline ~0.67 s at 16x5.0 GHz.
+			s.Bodies = 57344
+		}
+		return s, nil
+	case "babelstream":
+		s := workloads.DefaultStreamSpec()
+		return s, nil
+	case "minife":
+		s := workloads.DefaultMiniFESpec()
+		return s, nil
+	case "schedbench":
+		s := workloads.DefaultSchedBenchSpec()
+		if p.Name == machine.A64FXRsv || p.Name == machine.A64FXNoRsv {
+			// Motivation figure: modest per-run time on the 48-core part.
+			s.Outer = 30
+			s.N = 1536
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("platform: unknown workload %q", name)
+	}
+}
+
+// TinySpec returns a fast, CI-sized variant of a workload for the given
+// platform, preserving structure but shrinking totals.
+func (p *Platform) TinySpec(name string) (workloads.Workload, error) {
+	return workloads.ByName(name, "small")
+}

@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestNewAllPresets(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Topo == nil || p.Noise.TimerHz <= 0 {
+			t.Fatalf("platform %q incomplete: %+v", name, p)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("cray-xe"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+func TestSMTFlag(t *testing.T) {
+	if !MustNew(machine.AMD9950X3D).HasSMT {
+		t.Fatal("AMD platform should have SMT rows")
+	}
+	if MustNew(machine.Intel9700KF).HasSMT {
+		t.Fatal("Intel platform has no SMT")
+	}
+}
+
+func TestReservedPlatformNoiseConfined(t *testing.T) {
+	p := MustNew(machine.A64FXRsv)
+	if p.Noise.ThreadMask.Empty() {
+		t.Fatal("reserved A64FX must confine thread noise")
+	}
+	if !p.Noise.ThreadMask.Equal(p.Topo.ReservedMask()) {
+		t.Fatal("thread mask should equal the reserved core mask")
+	}
+	if !MustNew(machine.A64FXNoRsv).Noise.ThreadMask.Empty() {
+		t.Fatal("unreserved A64FX noise should roam")
+	}
+}
+
+func TestWorkloadSpecs(t *testing.T) {
+	for _, pname := range Names() {
+		p := MustNew(pname)
+		for _, w := range []string{"nbody", "babelstream", "minife", "schedbench"} {
+			spec, err := p.WorkloadSpec(w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", pname, w, err)
+			}
+			if spec.Name() != w {
+				t.Fatalf("%s/%s: spec named %q", pname, w, spec.Name())
+			}
+		}
+		if _, err := p.WorkloadSpec("lulesh"); err == nil {
+			t.Fatal("unknown workload should error")
+		}
+	}
+}
+
+func TestAMDNBodyLargerThanIntel(t *testing.T) {
+	// Per-platform sizing: AMD's N-body is bigger (paper baselines imply
+	// different problem sizes per machine).
+	intel := MustNew(machine.Intel9700KF)
+	amd := MustNew(machine.AMD9950X3D)
+	wi, _ := intel.WorkloadSpec("nbody")
+	wa, _ := amd.WorkloadSpec("nbody")
+	type sized interface{ TotalCycles() float64 }
+	if wa.(sized).TotalCycles() <= wi.(sized).TotalCycles() {
+		t.Fatal("AMD nbody should be sized larger than Intel's")
+	}
+}
+
+func TestTinySpec(t *testing.T) {
+	p := MustNew(machine.Intel9700KF)
+	w, err := p.TinySpec("minife")
+	if err != nil || w.Name() != "minife" {
+		t.Fatalf("TinySpec: %v %v", w, err)
+	}
+}

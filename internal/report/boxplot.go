@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// BoxPlot renders figure series as ASCII box plots, one row per (system,
+// x) pair, on a shared axis — a terminal rendition of the paper's Figures
+// 1-2. Width is the plot area in characters (minimum 20).
+//
+//	st:1  reserved |·[#]·|
+//	st:1  w/o      |···[#####]··————|
+//
+// Glyphs: '[' q1, '#' the interquartile box, ']' q3, '|' whiskers at
+// min/max, '+' the median when it is distinguishable.
+func BoxPlot(w io.Writer, title string, series []experiment.FigureSeries, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	if len(series) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, s := range series {
+		if s.Box.Min < lo {
+			lo = s.Box.Min
+		}
+		if s.Box.Max > hi {
+			hi = s.Box.Max
+		}
+		if n := len(s.X) + len(s.System) + 2; n > labelW {
+			labelW = n
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / span * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	axis := fmt.Sprintf("%*s%-*.2f%*s%.2f (ms)", labelW+1, "", width/2, lo, width-width/2-6, "", hi)
+	if _, err := fmt.Fprintln(w, axis); err != nil {
+		return err
+	}
+	for _, s := range series {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		pMin, pQ1, pMed, pQ3, pMax := pos(s.Box.Min), pos(s.Box.Q1), pos(s.Box.Median), pos(s.Box.Q3), pos(s.Box.Max)
+		for i := pMin; i <= pMax; i++ {
+			row[i] = '-'
+		}
+		for i := pQ1; i <= pQ3; i++ {
+			row[i] = '#'
+		}
+		row[pMin] = '|'
+		row[pMax] = '|'
+		if pQ1 != pMin {
+			row[pQ1] = '['
+		}
+		if pQ3 != pMax {
+			row[pQ3] = ']'
+		}
+		if pMed > pQ1 && pMed < pQ3 {
+			row[pMed] = '+'
+		}
+		label := fmt.Sprintf("%s %s", s.X, shortSystem(s.System))
+		if _, err := fmt.Fprintf(w, "%-*s %s\n", labelW, label, string(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func shortSystem(s string) string {
+	s = strings.ReplaceAll(s, "A64FX:", "")
+	return s
+}
+
+// BoxPlotString renders BoxPlot to a string.
+func BoxPlotString(title string, series []experiment.FigureSeries, width int) string {
+	var b strings.Builder
+	if err := BoxPlot(&b, title, series, width); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}

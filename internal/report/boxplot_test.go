@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+)
+
+func boxSeries() []experiment.FigureSeries {
+	return []experiment.FigureSeries{
+		{System: "A64FX:reserved", X: "48",
+			Box: stats.FiveNum{Min: 48.8, Q1: 48.9, Median: 48.92, Q3: 48.93, Max: 48.94}},
+		{System: "A64FX:w/o", X: "48",
+			Box: stats.FiveNum{Min: 49.0, Q1: 54.2, Median: 57.2, Q3: 59.2, Max: 61.0}},
+	}
+}
+
+func TestBoxPlotRendersRows(t *testing.T) {
+	out := BoxPlotString("Figure 2", boxSeries(), 60)
+	if !strings.Contains(out, "Figure 2") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + axis + 2 rows.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	rsv, wo := lines[2], lines[3]
+	if !strings.Contains(rsv, "reserved") || !strings.Contains(wo, "w/o") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	// The w/o box must be visibly wider than the reserved one.
+	if strings.Count(wo, "#") <= strings.Count(rsv, "#") {
+		t.Fatalf("w/o IQR should be wider:\n%s", out)
+	}
+	// Whiskers present.
+	if !strings.Contains(wo, "|") {
+		t.Fatalf("missing whiskers:\n%s", out)
+	}
+	// Median marker somewhere in the wide box.
+	if !strings.Contains(wo, "+") {
+		t.Fatalf("missing median marker in wide box:\n%s", out)
+	}
+}
+
+func TestBoxPlotDegenerate(t *testing.T) {
+	// All-equal distribution must not divide by zero.
+	s := []experiment.FigureSeries{{System: "x", X: "1",
+		Box: stats.FiveNum{Min: 5, Q1: 5, Median: 5, Q3: 5, Max: 5}}}
+	out := BoxPlotString("t", s, 40)
+	if !strings.Contains(out, "|") {
+		t.Fatalf("degenerate box should still draw:\n%s", out)
+	}
+	if got := BoxPlotString("t", nil, 40); !strings.Contains(got, "no data") {
+		t.Fatalf("empty series: %q", got)
+	}
+}
+
+func TestBoxPlotMinimumWidth(t *testing.T) {
+	out := BoxPlotString("t", boxSeries(), 1) // clamped to 20
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Fatalf("line too long: %q", line)
+		}
+	}
+}

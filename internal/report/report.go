@@ -1,0 +1,347 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// replicating the layouts of the paper's Tables 1-7 and the box-plot series
+// of Figures 1-2, and provides shape checks comparing measured trends with
+// the paper's reported direction.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/mitigate"
+)
+
+// Table is a generic renderable table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders the table to a string.
+func (t *Table) Text() string {
+	var b strings.Builder
+	if err := t.WriteText(&b); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV (no quoting needed for our cells).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// strategyHeader returns the six strategy column labels.
+func strategyHeader() []string {
+	cols := []string{}
+	for _, s := range mitigate.Columns() {
+		cols = append(cols, s.Name())
+	}
+	return cols
+}
+
+// Table1 renders tracing-overhead rows in the paper's Table-1 layout.
+func Table1(rows []experiment.OverheadRow) *Table {
+	t := &Table{
+		Title:  "Table 1: Average execution time with tracing off and on.",
+		Header: []string{"Tracing Overhead", "Tracing Off", "Tracing On", "Increase"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload,
+			fmt.Sprintf("%.9f", r.OffSec),
+			fmt.Sprintf("%.9f", r.OnSec),
+			fmt.Sprintf("%.2f%%", r.IncreasePct),
+		})
+	}
+	return t
+}
+
+// Table2 renders the average baseline standard deviation (ms) per model and
+// strategy, averaged across the given baseline results.
+func Table2(results []*experiment.BaselineResult) *Table {
+	t := &Table{
+		Title:  "Table 2: Average s.d. (ms) in baseline executions",
+		Header: append([]string{""}, strategyHeader()...),
+	}
+	for _, model := range experiment.Models {
+		row := []string{strings.ToUpper(modelLabel(model))}
+		for _, strat := range mitigate.Columns() {
+			var sum float64
+			var n int
+			for _, res := range results {
+				if cell, ok := res.Cells[experiment.Key(model, strat)]; ok {
+					sum += cell.Summary.SD
+					n++
+				}
+			}
+			if n > 0 {
+				row = append(row, fmt.Sprintf("%.2f", sum/float64(n)))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func modelLabel(model string) string {
+	if model == "omp" {
+		return "OMP"
+	}
+	return "SYCL"
+}
+
+// InjectionTable renders a Tables-3/4/5-style table: per platform section,
+// rows of (model, SMT, config#) with mean seconds and percentage change.
+func InjectionTable(num int, res *experiment.InjectionResult) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table %d: Average execution time (sec.) and %% increase vs baseline for %s.", num, res.Workload),
+		Header: append([]string{""}, strategyHeader()...),
+	}
+	for _, sec := range res.Sections {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("-- %s on %s --", res.Workload, sec.Platform)})
+		for _, row := range sec.Rows {
+			means := []string{row.Label}
+			changes := []string{""}
+			for _, c := range row.Cells {
+				means = append(means, fmt.Sprintf("%.3f", c.MeanSec))
+				changes = append(changes, fmt.Sprintf("%+.1f%%", c.ChangePct))
+			}
+			t.Rows = append(t.Rows, means, changes)
+		}
+	}
+	return t
+}
+
+// Table6 renders the aggregate relative performance change.
+func Table6(agg map[string][]float64) *Table {
+	t := &Table{
+		Title:  "Table 6: Average relative performance change (%) under noise injection.",
+		Header: append([]string{""}, strategyHeader()...),
+	}
+	for _, model := range experiment.Models {
+		row := []string{modelLabel(model)}
+		for _, v := range agg[model] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table7 renders injector accuracy entries.
+func Table7(entries []experiment.AccuracyEntry) *Table {
+	t := &Table{
+		Title:  "Table 7: Absolute accuracy of noise injection for each worst-case trace.",
+		Header: []string{"Benchmark", "Platform", "Config", "Anomaly(s)", "Injected(s)", "Accuracy"},
+	}
+	for _, e := range entries {
+		sign := ""
+		if e.SignedPct < 0 {
+			sign = "(-)"
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Benchmark,
+			e.Platform,
+			e.Source.Label(),
+			fmt.Sprintf("%.3f", e.AnomalySec),
+			fmt.Sprintf("%.3f", e.InjectedSec),
+			fmt.Sprintf("%s%.2f%%", sign, e.AccuracyPct),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean absolute accuracy: %.2f%% (paper: 8.57%%)", experiment.MeanAccuracy(entries)))
+	return t
+}
+
+// Figure renders box-plot series as a text table (one row per x position
+// per system).
+func Figure(num int, title string, series []experiment.FigureSeries) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure %d: %s", num, title),
+		Header: []string{"System", "x", "min(ms)", "q1", "median", "q3", "max(ms)", "sd(ms)"},
+	}
+	for _, s := range series {
+		t.Rows = append(t.Rows, []string{
+			s.System, s.X,
+			fmt.Sprintf("%.2f", s.Box.Min),
+			fmt.Sprintf("%.2f", s.Box.Q1),
+			fmt.Sprintf("%.2f", s.Box.Median),
+			fmt.Sprintf("%.2f", s.Box.Q3),
+			fmt.Sprintf("%.2f", s.Box.Max),
+			fmt.Sprintf("%.2f", s.SD),
+		})
+	}
+	return t
+}
+
+// ShapeCheck is one direction assertion against the paper's findings.
+type ShapeCheck struct {
+	Name string
+	Pass bool
+	Got  string
+	Want string
+}
+
+// CheckInjectionShape verifies the headline directions of the paper on a
+// Table-6-style aggregate: housekeeping reduces degradation; SYCL is more
+// resilient than OpenMP; TP does not beat Rm meaningfully.
+func CheckInjectionShape(agg map[string][]float64) []ShapeCheck {
+	idx := map[string]int{}
+	for i, s := range mitigate.Columns() {
+		idx[s.Name()] = i
+	}
+	var checks []ShapeCheck
+	for _, model := range experiment.Models {
+		v := agg[model]
+		checks = append(checks,
+			ShapeCheck{
+				Name: modelLabel(model) + ": RmHK < Rm (housekeeping helps)",
+				Pass: v[idx["RmHK"]] < v[idx["Rm"]],
+				Got:  fmt.Sprintf("RmHK=%.2f Rm=%.2f", v[idx["RmHK"]], v[idx["Rm"]]),
+				Want: "RmHK < Rm",
+			},
+			ShapeCheck{
+				Name: modelLabel(model) + ": RmHK2 <= RmHK (more housekeeping helps more)",
+				Pass: v[idx["RmHK2"]] <= v[idx["RmHK"]]+1,
+				Got:  fmt.Sprintf("RmHK2=%.2f RmHK=%.2f", v[idx["RmHK2"]], v[idx["RmHK"]]),
+				Want: "RmHK2 <= RmHK (+1pt slack)",
+			},
+		)
+	}
+	omp, sycl := agg["omp"], agg["sycl"]
+	checks = append(checks, ShapeCheck{
+		Name: "SYCL more resilient than OMP under injection (Rm column)",
+		Pass: sycl[idx["Rm"]] < omp[idx["Rm"]],
+		Got:  fmt.Sprintf("SYCL=%.2f OMP=%.2f", sycl[idx["Rm"]], omp[idx["Rm"]]),
+		Want: "SYCL < OMP",
+	}, ShapeCheck{
+		Name: "TP does not meaningfully beat Rm (paper: no mitigation benefit)",
+		Pass: omp[idx["TP"]] >= omp[idx["Rm"]]-5,
+		Got:  fmt.Sprintf("TP=%.2f Rm=%.2f", omp[idx["TP"]], omp[idx["Rm"]]),
+		Want: "TP >= Rm - 5pt",
+	})
+	return checks
+}
+
+// WriteChecks renders shape checks.
+func WriteChecks(w io.Writer, checks []ShapeCheck) error {
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "[%s] %s: got %s (want %s)\n", status, c.Name, c.Got, c.Want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavoured Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	row := func(cells []string) string {
+		return "| " + strings.Join(cells, " | ") + " |"
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, row(t.Header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintln(w, row(sep)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		padded := make([]string, len(t.Header))
+		copy(padded, r)
+		if _, err := fmt.Fprintln(w, row(padded)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n_%s_\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/mitigate"
+	"repro/internal/stats"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	out := tbl.Text()
+	for _, want := range []string{"T\n", "a    bee", "333  4", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"x", "y"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	rows := []experiment.OverheadRow{
+		{Workload: "nbody", OffSec: 0.450971154, OnSec: 0.453986513, IncreasePct: 0.67},
+	}
+	out := Table1(rows).Text()
+	for _, want := range []string{"nbody", "0.450971154", "0.67%", "Tracing Off"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	mk := func(model string, sd float64) map[string]experiment.BaselineCell {
+		cells := make(map[string]experiment.BaselineCell)
+		for _, s := range mitigate.Columns() {
+			cells[experiment.Key(model, s)] = experiment.BaselineCell{
+				Model: model, Strategy: s, Summary: stats.Summary{SD: sd},
+			}
+		}
+		return cells
+	}
+	merge := func(a, b map[string]experiment.BaselineCell) map[string]experiment.BaselineCell {
+		for k, v := range b {
+			a[k] = v
+		}
+		return a
+	}
+	res := []*experiment.BaselineResult{
+		{Cells: merge(mk("omp", 8.0), mk("sycl", 6.0))},
+		{Cells: merge(mk("omp", 6.0), mk("sycl", 4.0))},
+	}
+	out := Table2(res).Text()
+	if !strings.Contains(out, "7.00") || !strings.Contains(out, "5.00") {
+		t.Fatalf("table2 should average SDs:\n%s", out)
+	}
+	if !strings.Contains(out, "RmHK2") || !strings.Contains(out, "TPHK2") {
+		t.Fatalf("table2 missing strategy columns:\n%s", out)
+	}
+}
+
+func synthInjection() *experiment.InjectionResult {
+	row := func(model, label string, base float64) experiment.InjectRow {
+		r := experiment.InjectRow{Label: label, Model: model}
+		for i := 0; i < 6; i++ {
+			r.Cells = append(r.Cells, experiment.InjectCell{
+				MeanSec: base + float64(i)*0.01, BaseSec: base, ChangePct: float64(i * 10),
+			})
+		}
+		return r
+	}
+	return &experiment.InjectionResult{
+		Workload: "nbody",
+		Sections: []experiment.InjectSection{{
+			Platform: "intel-9700kf",
+			Rows: []experiment.InjectRow{
+				row("omp", "OMP #1", 0.45),
+				row("sycl", "SYCL #1", 0.60),
+			},
+		}},
+	}
+}
+
+func TestInjectionTableRender(t *testing.T) {
+	out := InjectionTable(3, synthInjection()).Text()
+	for _, want := range []string{"Table 3", "nbody on intel-9700kf", "OMP #1", "SYCL #1", "+50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("injection table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Render(t *testing.T) {
+	agg := map[string][]float64{
+		"omp":  {42.85, 20.43, 17.24, 49.58, 27.73, 24.22},
+		"sycl": {19.08, 10.52, 8.96, 22.01, 10.92, 9.60},
+	}
+	out := Table6(agg).Text()
+	if !strings.Contains(out, "42.85") || !strings.Contains(out, "9.60") {
+		t.Fatalf("table6:\n%s", out)
+	}
+}
+
+func TestTable7Render(t *testing.T) {
+	entries := []experiment.AccuracyEntry{
+		{Benchmark: "nbody", Platform: "intel-9700kf",
+			Source:     experiment.ConfigSource{Model: "omp", Strategy: mitigate.Rm},
+			AnomalySec: 0.6, InjectedSec: 0.62, AccuracyPct: 3.8, SignedPct: 3.8},
+		{Benchmark: "babelstream", Platform: "intel-9700kf",
+			Source:     experiment.ConfigSource{Model: "omp", Strategy: mitigate.TP},
+			AnomalySec: 2.0, InjectedSec: 1.7, AccuracyPct: 15.5, SignedPct: -15.5},
+	}
+	out := Table7(entries).Text()
+	for _, want := range []string{"Rm-OMP", "TP-OMP", "(-)15.50%", "3.80%", "mean absolute accuracy: 9.65%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	series := []experiment.FigureSeries{
+		{System: "A64FX:reserved", X: "st:1", Box: stats.FiveNum{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5}, SD: 0.5},
+	}
+	out := Figure(1, "schedbench variability", series).Text()
+	for _, want := range []string{"Figure 1", "A64FX:reserved", "st:1", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckInjectionShape(t *testing.T) {
+	good := map[string][]float64{
+		"omp":  {42, 20, 17, 49, 27, 24},
+		"sycl": {19, 10, 8, 22, 10, 9},
+	}
+	checks := CheckInjectionShape(good)
+	for _, c := range checks {
+		if !c.Pass {
+			t.Fatalf("paper-shaped aggregate should pass %q: %+v", c.Name, c)
+		}
+	}
+	bad := map[string][]float64{
+		"omp":  {10, 42, 50, 2, 27, 24}, // HK worse than Rm; TP much better
+		"sycl": {50, 60, 70, 80, 90, 99},
+	}
+	anyFail := false
+	for _, c := range CheckInjectionShape(bad) {
+		if !c.Pass {
+			anyFail = true
+		}
+	}
+	if !anyFail {
+		t.Fatal("inverted aggregate should fail some checks")
+	}
+	var buf bytes.Buffer
+	if err := WriteChecks(&buf, checks); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[PASS]") {
+		t.Fatalf("checks output: %s", buf.String())
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3"}},
+		Notes:  []string{"n"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**T**", "| a | b |", "| --- | --- |", "| 1 | 2 |", "| 3 |  |", "_n_"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

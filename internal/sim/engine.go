@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Timer is a scheduled callback. It can be cancelled before it fires.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once popped
+	canceled bool
+}
+
+// At returns the simulated instant the timer fires at.
+func (t *Timer) At() Time { return t.at }
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the timer was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.canceled || t.index == -1 {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and not cancelled.
+func (t *Timer) Pending() bool { return t != nil && !t.canceled && t.index != -1 }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a single-threaded discrete-event simulator. Events scheduled for
+// the same instant fire in scheduling order, which keeps runs deterministic.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	// Steps counts processed (non-cancelled) events, for diagnostics and
+	// runaway detection in tests.
+	Steps uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at simulated time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Pending reports the number of events in the queue, including cancelled
+// ones that have not been reaped yet.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step processes the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		tm := heap.Pop(&e.events).(*Timer)
+		if tm.canceled {
+			continue
+		}
+		e.now = tm.at
+		e.Steps++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock to
+// t (even if no event fired exactly at t).
+func (e *Engine) RunUntil(t Time) {
+	for {
+		tm := e.peek()
+		if tm == nil || tm.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunWhile processes events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+func (e *Engine) peek() *Timer {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}

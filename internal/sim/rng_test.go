@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical sequences")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGStreamIndependence(t *testing.T) {
+	root1 := NewRNG(7)
+	root2 := NewRNG(7)
+	s1 := root1.Stream("noise")
+	s2 := root2.Stream("noise")
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatal("same (seed, name) must yield the same stream")
+		}
+	}
+	root3 := NewRNG(7)
+	other := root3.Stream("workload")
+	s3 := NewRNG(7).Stream("noise")
+	diff := false
+	for i := 0; i < 20; i++ {
+		if other.Uint64() != s3.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different stream names should produce different sequences")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	const rate = 2.0
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(sd-3) > 0.1 {
+		t.Fatalf("normal sd = %v, want ~3", sd)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	r := NewRNG(8)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.LogNormalMean(5.0, 0.8)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.15 {
+		t.Fatalf("lognormal mean = %v, want ~5", mean)
+	}
+}
+
+func TestLogNormalMeanNonPositive(t *testing.T) {
+	r := NewRNG(8)
+	if v := r.LogNormalMean(0, 1); v != 0 {
+		t.Fatalf("LogNormalMean(0, 1) = %v, want 0", v)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(10)
+	const d = 1000 * Microsecond
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(d, 0.1)
+		if v < Time(float64(d)*0.9) || v > Time(float64(d)*1.1) {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}

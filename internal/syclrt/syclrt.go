@@ -1,0 +1,196 @@
+// Package syclrt models a SYCL (DPC++-style) runtime targeting the CPU: a
+// host thread submits kernels to an in-order queue; a worker pool executes
+// each kernel's ND-range as work-groups claimed dynamically (work-stealing
+// flavour). The model carries the overheads the paper attributes to SYCL's
+// runtime layer — per-kernel submission cost, per-work-group dispatch cost,
+// and a code-generation efficiency factor — which make SYCL slower in raw
+// time but *more resilient* to injected noise: a worker delayed by noise
+// simply executes fewer work-groups while the rest of the pool absorbs its
+// share, instead of holding a static-schedule barrier hostage.
+package syclrt
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/mitigate"
+	"repro/internal/parmodel"
+	"repro/internal/sim"
+)
+
+// Config tunes the runtime model.
+type Config struct {
+	// SubmitOverhead is host-side work per kernel submission (queue entry,
+	// dependency tracking, handler construction).
+	SubmitOverhead sim.Time
+	// WGDispatch is per-work-group claim cost on a worker.
+	WGDispatch sim.Time
+	// WGUnits is how many work units form one work-group (claim
+	// granularity); minimum 1.
+	WGUnits int
+	// CostFactor scales unit cost (kernel codegen efficiency vs OpenMP).
+	CostFactor float64
+	// ActiveWait spins workers between work-groups of an active kernel;
+	// the pool parks passively between kernels either way.
+	ActiveWait bool
+}
+
+// DefaultConfig returns the model constants used for the paper's SYCL runs.
+func DefaultConfig() Config {
+	return Config{
+		SubmitOverhead: 35 * sim.Microsecond,
+		WGDispatch:     400, // ns
+		WGUnits:        1,
+		CostFactor:     1.08,
+		ActiveWait:     false,
+	}
+}
+
+type kernel struct {
+	n    int
+	cost func(int) parmodel.Cost
+	next int // work-group claim cursor
+}
+
+// Queue is the SYCL in-order queue plus its worker pool. It implements
+// parmodel.Model for workload bodies running on the host thread.
+type Queue struct {
+	s    *cpusched.Scheduler
+	plan *mitigate.Plan
+	cfg  Config
+
+	kernelBar *cpusched.Barrier // host+workers rendezvous to start a kernel
+	doneBar   *cpusched.Barrier // host+workers rendezvous at kernel end
+	kern      *kernel
+	stop      bool
+
+	cyclesPerNs float64
+
+	hostCtx *cpusched.Ctx
+	host    *cpusched.Task
+	workers []*cpusched.Task
+}
+
+// Start creates the queue's worker pool and runs body on the host thread.
+// The host participates in kernel execution as one of the workers (CPU
+// backends do this), so the pool size equals the plan's thread count.
+func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel.Body) *Queue {
+	if cfg.CostFactor <= 0 {
+		cfg.CostFactor = 1.0
+	}
+	if cfg.WGUnits <= 0 {
+		cfg.WGUnits = 1
+	}
+	q := &Queue{
+		s:           s,
+		plan:        plan,
+		cfg:         cfg,
+		kernelBar:   cpusched.NewBarrier(plan.Threads),
+		doneBar:     cpusched.NewBarrier(plan.Threads),
+		cyclesPerNs: s.Topology().CyclesPerNs(),
+	}
+	for i := 1; i < plan.Threads; i++ {
+		i := i
+		w := s.Spawn(cpusched.TaskSpec{
+			Name:     fmt.Sprintf("sycl-worker-%d", i),
+			Kind:     cpusched.KindWorkload,
+			Affinity: plan.AffinityOf(i),
+		}, func(ctx *cpusched.Ctx) { q.workerLoop(ctx) })
+		q.workers = append(q.workers, w)
+	}
+	q.host = s.Spawn(cpusched.TaskSpec{
+		Name:     "sycl-host",
+		Kind:     cpusched.KindWorkload,
+		Affinity: plan.AffinityOf(0),
+	}, func(ctx *cpusched.Ctx) {
+		q.hostCtx = ctx
+		body(q)
+		q.shutdown()
+	})
+	return q
+}
+
+// Host returns the host task (the workload's completion handle).
+func (q *Queue) Host() *cpusched.Task { return q.host }
+
+var _ parmodel.Model = (*Queue)(nil)
+
+// Threads implements parmodel.Model.
+func (q *Queue) Threads() int { return q.plan.Threads }
+
+// Name implements parmodel.Model.
+func (q *Queue) Name() string { return "sycl" }
+
+// MasterCompute implements parmodel.Model (host-side serial work).
+func (q *Queue) MasterCompute(cycles float64) {
+	q.hostCtx.Compute(cycles * q.cfg.CostFactor)
+}
+
+// MasterMemory implements parmodel.Model.
+func (q *Queue) MasterMemory(bytes float64) {
+	q.hostCtx.Memory(bytes * q.cfg.CostFactor)
+}
+
+// ParallelFor implements parmodel.Model: submit one kernel and wait for it
+// (in-order queue with an immediately-consumed event, the pattern the
+// benchmarks use).
+func (q *Queue) ParallelFor(n int, cost func(int) parmodel.Cost) {
+	if n < 0 {
+		panic("syclrt: negative ND-range")
+	}
+	// Host-side submission cost.
+	q.hostCtx.Compute(float64(q.cfg.SubmitOverhead) * q.cyclesPerNs)
+	q.kern = &kernel{n: n, cost: cost}
+	if q.plan.Threads == 1 {
+		q.runWorkGroups(q.hostCtx)
+		return
+	}
+	q.hostCtx.Barrier(q.kernelBar, false) // wake the pool
+	q.runWorkGroups(q.hostCtx)            // host joins execution
+	q.hostCtx.Barrier(q.doneBar, q.cfg.ActiveWait)
+}
+
+func (q *Queue) workerLoop(ctx *cpusched.Ctx) {
+	for {
+		ctx.Barrier(q.kernelBar, false)
+		if q.stop {
+			return
+		}
+		q.runWorkGroups(ctx)
+		ctx.Barrier(q.doneBar, q.cfg.ActiveWait)
+	}
+}
+
+func (q *Queue) shutdown() {
+	if q.plan.Threads == 1 {
+		return
+	}
+	q.stop = true
+	q.hostCtx.Barrier(q.kernelBar, false)
+}
+
+// runWorkGroups claims and executes work-groups until the kernel drains.
+func (q *Queue) runWorkGroups(ctx *cpusched.Ctx) {
+	k := q.kern
+	for {
+		if q.cfg.WGDispatch > 0 {
+			ctx.Compute(float64(q.cfg.WGDispatch) * q.cyclesPerNs)
+		}
+		lo := k.next
+		if lo >= k.n {
+			return
+		}
+		hi := lo + q.cfg.WGUnits
+		if hi > k.n {
+			hi = k.n
+		}
+		k.next = hi
+		var total parmodel.Cost
+		for i := lo; i < hi; i++ {
+			total = total.Add(k.cost(i))
+		}
+		total = total.Scale(q.cfg.CostFactor)
+		ctx.Compute(total.Cycles)
+		ctx.Memory(total.Bytes)
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Filter returns a copy of the trace containing only events that satisfy
+// pred. Metadata is preserved.
+func (tr *Trace) Filter(pred func(Event) bool) *Trace {
+	out := &Trace{
+		Platform: tr.Platform, Workload: tr.Workload, Model: tr.Model,
+		Strategy: tr.Strategy, Seed: tr.Seed, ExecTime: tr.ExecTime,
+	}
+	for _, e := range tr.Events {
+		if pred(e) {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// Window returns a copy containing only events that start within [from,
+// to).
+func (tr *Trace) Window(from, to sim.Time) *Trace {
+	return tr.Filter(func(e Event) bool { return e.Start >= from && e.Start < to })
+}
+
+// CPUNoise summarizes one CPU's noise within a trace.
+type CPUNoise struct {
+	CPU int
+	// Total is the summed event duration on this CPU.
+	Total sim.Time
+	// Count is the number of events.
+	Count int
+	// Largest is the biggest single event.
+	Largest Event
+}
+
+// PerCPU aggregates noise per logical CPU, ordered by CPU id.
+func (tr *Trace) PerCPU() []CPUNoise {
+	m := map[int]*CPUNoise{}
+	for _, e := range tr.Events {
+		c, ok := m[e.CPU]
+		if !ok {
+			c = &CPUNoise{CPU: e.CPU}
+			m[e.CPU] = c
+		}
+		c.Total += e.Duration
+		c.Count++
+		if e.Duration > c.Largest.Duration {
+			c.Largest = e
+		}
+	}
+	out := make([]CPUNoise, 0, len(m))
+	for _, c := range m {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CPU < out[j].CPU })
+	return out
+}
+
+// NoiseFraction returns total noise divided by (execution time x CPUs
+// observed); a rough machine-level noise utilization. Returns 0 when the
+// trace is empty or untimed.
+func (tr *Trace) NoiseFraction(ncpus int) float64 {
+	if tr.ExecTime <= 0 || ncpus <= 0 {
+		return 0
+	}
+	return float64(tr.TotalNoise()) / (float64(tr.ExecTime) * float64(ncpus))
+}
+
+// TopSources returns the n sources with the largest total duration across
+// the trace, descending (ties broken by name for determinism).
+func (tr *Trace) TopSources(n int) []SourceStats {
+	p := BuildProfile([]*Trace{tr})
+	out := p.SortedSources()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalDur != out[j].TotalDur {
+			return out[i].TotalDur > out[j].TotalDur
+		}
+		return out[i].Key.Source < out[j].Key.Source
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Overlaps reports pairs of events on the same CPU whose intervals overlap
+// — the situation the config generator's merge step must handle (§5.2).
+// The trace must be sorted (SortEvents) for complete detection.
+func (tr *Trace) Overlaps() [][2]Event {
+	byCPU := map[int][]Event{}
+	for _, e := range tr.Events {
+		byCPU[e.CPU] = append(byCPU[e.CPU], e)
+	}
+	var out [][2]Event
+	var cpus []int
+	for cpu := range byCPU {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		evs := byCPU[cpu]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End() {
+				out = append(out, [2]Event{evs[i-1], evs[i]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+)
+
+func analysisTrace() *Trace {
+	return &Trace{
+		ExecTime: 100 * sim.Millisecond,
+		Events: []Event{
+			{CPU: 0, Class: cpusched.ClassIRQ, Source: "timer", Start: 10, Duration: 100},
+			{CPU: 0, Class: cpusched.ClassThread, Source: "kw", Start: 1000, Duration: 5000},
+			{CPU: 1, Class: cpusched.ClassThread, Source: "kw", Start: 2000, Duration: 300},
+			{CPU: 1, Class: cpusched.ClassIRQ, Source: "timer", Start: 9000, Duration: 50},
+		},
+	}
+}
+
+func TestFilterAndWindow(t *testing.T) {
+	tr := analysisTrace()
+	irqs := tr.Filter(func(e Event) bool { return e.Class == cpusched.ClassIRQ })
+	if len(irqs.Events) != 2 {
+		t.Fatalf("irq filter: %d", len(irqs.Events))
+	}
+	if irqs.ExecTime != tr.ExecTime {
+		t.Fatal("filter should preserve metadata")
+	}
+	win := tr.Window(1000, 3000)
+	if len(win.Events) != 2 {
+		t.Fatalf("window: %d events", len(win.Events))
+	}
+	for _, e := range win.Events {
+		if e.Start < 1000 || e.Start >= 3000 {
+			t.Fatalf("event outside window: %+v", e)
+		}
+	}
+}
+
+func TestPerCPU(t *testing.T) {
+	per := analysisTrace().PerCPU()
+	if len(per) != 2 {
+		t.Fatalf("cpus: %d", len(per))
+	}
+	if per[0].CPU != 0 || per[1].CPU != 1 {
+		t.Fatal("not ordered by cpu")
+	}
+	if per[0].Total != 5100 || per[0].Count != 2 {
+		t.Fatalf("cpu0: %+v", per[0])
+	}
+	if per[0].Largest.Source != "kw" {
+		t.Fatalf("cpu0 largest: %+v", per[0].Largest)
+	}
+}
+
+func TestNoiseFraction(t *testing.T) {
+	tr := analysisTrace()
+	got := tr.NoiseFraction(2)
+	want := float64(5450) / (float64(100*sim.Millisecond) * 2)
+	if got != want {
+		t.Fatalf("fraction = %v, want %v", got, want)
+	}
+	if (&Trace{}).NoiseFraction(2) != 0 || tr.NoiseFraction(0) != 0 {
+		t.Fatal("degenerate fractions should be 0")
+	}
+}
+
+func TestTopSources(t *testing.T) {
+	top := analysisTrace().TopSources(1)
+	if len(top) != 1 || top[0].Key.Source != "kw" {
+		t.Fatalf("top: %+v", top)
+	}
+	all := analysisTrace().TopSources(0)
+	if len(all) != 2 {
+		t.Fatalf("all sources: %d", len(all))
+	}
+	if all[0].TotalDur < all[1].TotalDur {
+		t.Fatal("not sorted descending")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{CPU: 0, Source: "a", Start: 0, Duration: 100},
+		{CPU: 0, Source: "b", Start: 50, Duration: 100}, // overlaps a
+		{CPU: 0, Source: "c", Start: 200, Duration: 10}, // clean
+		{CPU: 1, Source: "d", Start: 0, Duration: 100},  // other cpu
+	}}
+	ov := tr.Overlaps()
+	if len(ov) != 1 {
+		t.Fatalf("overlaps: %d", len(ov))
+	}
+	if ov[0][0].Source != "a" || ov[0][1].Source != "b" {
+		t.Fatalf("overlap pair: %+v", ov[0])
+	}
+	if len((&Trace{}).Overlaps()) != 0 {
+		t.Fatal("empty trace should have no overlaps")
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+)
+
+// Chrome-trace (Trace Event Format) export: events are viewable in
+// chrome://tracing or https://ui.perfetto.dev, with one timeline row per
+// logical CPU. This is a debugging/inspection aid beyond the paper's text
+// formats.
+
+// chromeEvent is one complete ("X") event in the Trace Event Format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeJSON renders the trace's noise events in the Chrome Trace
+// Event Format (JSON array), one thread row per CPU.
+func WriteChromeJSON(w io.Writer, tr *Trace) error {
+	events := make([]chromeEvent, 0, len(tr.Events))
+	for _, e := range tr.Events {
+		events = append(events, chromeEvent{
+			Name: e.Source,
+			Cat:  e.Class.String(),
+			Ph:   "X",
+			TS:   float64(e.Start) / 1e3,
+			Dur:  float64(e.Duration) / 1e3,
+			PID:  0,
+			TID:  e.CPU,
+			Args: map[string]string{"class": e.Class.String()},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// TimelineRecorder captures the complete scheduling timeline — workload
+// threads, noise threads, injectors, and interrupts — unlike the osnoise
+// Tracer, which records only noise. It implements cpusched.Hook and exports
+// the Chrome Trace Event Format for visual inspection of a run.
+type TimelineRecorder struct {
+	events []chromeEvent
+	start  sim.Time
+}
+
+// NewTimelineRecorder creates a recorder with timestamps relative to start.
+func NewTimelineRecorder(start sim.Time) *TimelineRecorder {
+	return &TimelineRecorder{start: start}
+}
+
+var _ cpusched.Hook = (*TimelineRecorder)(nil)
+
+// TaskRan implements cpusched.Hook.
+func (r *TimelineRecorder) TaskRan(cpu int, t *cpusched.Task, start, end sim.Time) {
+	r.events = append(r.events, chromeEvent{
+		Name: t.Name,
+		Cat:  t.Kind.String(),
+		Ph:   "X",
+		TS:   float64(start-r.start) / 1e3,
+		Dur:  float64(end-start) / 1e3,
+		PID:  0,
+		TID:  cpu,
+		Args: map[string]string{
+			"source": t.Source,
+			"policy": t.Policy().String(),
+			"kind":   t.Kind.String(),
+		},
+	})
+}
+
+// IRQRan implements cpusched.Hook.
+func (r *TimelineRecorder) IRQRan(cpu int, class cpusched.NoiseClass, source string, start, end sim.Time) {
+	r.events = append(r.events, chromeEvent{
+		Name: source,
+		Cat:  class.String(),
+		Ph:   "X",
+		TS:   float64(start-r.start) / 1e3,
+		Dur:  float64(end-start) / 1e3,
+		PID:  0,
+		TID:  cpu,
+	})
+}
+
+// Len returns the number of recorded intervals.
+func (r *TimelineRecorder) Len() int { return len(r.events) }
+
+// WriteJSON exports the timeline in the Trace Event Format with per-CPU
+// row names.
+func (r *TimelineRecorder) WriteJSON(w io.Writer) error {
+	out := make([]any, 0, len(r.events)+8)
+	// Name the rows "cpu N" via metadata events.
+	seen := map[int]bool{}
+	for _, e := range r.events {
+		if !seen[e.TID] {
+			seen[e.TID] = true
+			out = append(out, map[string]any{
+				"name": "thread_name", "ph": "M", "pid": 0, "tid": e.TID,
+				"args": map[string]string{"name": fmt.Sprintf("cpu %d", e.TID)},
+			})
+		}
+	}
+	for _, e := range r.events {
+		out = append(out, e)
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,279 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parmodel"
+)
+
+// ---------------------------------------------------------------------------
+// Real Babelstream kernel: the five STREAM-style kernels (copy, mul, add,
+// triad, dot) over large float64 arrays, goroutine-parallel.
+// ---------------------------------------------------------------------------
+
+// Stream holds the three Babelstream arrays and scalar.
+type Stream struct {
+	A, B, C []float64
+	Scalar  float64
+}
+
+// Babelstream initial values, matching the reference implementation.
+const (
+	streamInitA  = 0.1
+	streamInitB  = 0.2
+	streamInitC  = 0.0
+	streamScalar = 0.4
+)
+
+// NewStream allocates and initializes arrays of n elements.
+func NewStream(n int) *Stream {
+	s := &Stream{
+		A:      make([]float64, n),
+		B:      make([]float64, n),
+		C:      make([]float64, n),
+		Scalar: streamScalar,
+	}
+	for i := 0; i < n; i++ {
+		s.A[i] = streamInitA
+		s.B[i] = streamInitB
+		s.C[i] = streamInitC
+	}
+	return s
+}
+
+// Copy executes c[i] = a[i].
+func (s *Stream) Copy(threads int) {
+	parallelRanges(len(s.A), threads, func(lo, hi int) {
+		copy(s.C[lo:hi], s.A[lo:hi])
+	})
+}
+
+// Mul executes b[i] = scalar * c[i].
+func (s *Stream) Mul(threads int) {
+	parallelRanges(len(s.A), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.B[i] = s.Scalar * s.C[i]
+		}
+	})
+}
+
+// Add executes c[i] = a[i] + b[i].
+func (s *Stream) Add(threads int) {
+	parallelRanges(len(s.A), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.C[i] = s.A[i] + s.B[i]
+		}
+	})
+}
+
+// Triad executes a[i] = b[i] + scalar * c[i].
+func (s *Stream) Triad(threads int) {
+	parallelRanges(len(s.A), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.A[i] = s.B[i] + s.Scalar*s.C[i]
+		}
+	})
+}
+
+// Dot returns sum(a[i] * b[i]), reduced across threads.
+func (s *Stream) Dot(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	partials := make([]float64, threads)
+	parallelIndexedRanges(len(s.A), threads, func(t, lo, hi int) {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += s.A[i] * s.B[i]
+		}
+		partials[t] = sum
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// RunAll executes the canonical kernel sequence iters times and returns the
+// last dot result.
+func (s *Stream) RunAll(iters, threads int) float64 {
+	var dot float64
+	for k := 0; k < iters; k++ {
+		s.Copy(threads)
+		s.Mul(threads)
+		s.Add(threads)
+		s.Triad(threads)
+		dot = s.Dot(threads)
+	}
+	return dot
+}
+
+// Verify checks array contents against the analytic expectation after iters
+// iterations, like the reference implementation does.
+func (s *Stream) Verify(iters int) error {
+	a, b, c := streamInitA, streamInitB, streamInitC
+	for k := 0; k < iters; k++ {
+		c = a
+		b = s.Scalar * c
+		c = a + b
+		a = b + s.Scalar*c
+	}
+	check := func(name string, arr []float64, want float64) error {
+		var errSum float64
+		for _, v := range arr {
+			errSum += math.Abs(v - want)
+		}
+		if e := errSum / float64(len(arr)); e > 1e-8 {
+			return fmt.Errorf("workloads: stream array %s mean error %g (want %g)", name, e, want)
+		}
+		return nil
+	}
+	if err := check("a", s.A, a); err != nil {
+		return err
+	}
+	if err := check("b", s.B, b); err != nil {
+		return err
+	}
+	return check("c", s.C, c)
+}
+
+// parallelIndexedRanges is parallelRanges with the worker index exposed.
+func parallelIndexedRanges(n, threads int, fn func(t, lo, hi int)) {
+	if threads <= 1 || n < threads {
+		fn(0, 0, n)
+		return
+	}
+	done := make(chan struct{}, threads)
+	for t := 0; t < threads; t++ {
+		t := t
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func() {
+			fn(t, lo, hi)
+			done <- struct{}{}
+		}()
+	}
+	for t := 0; t < threads; t++ {
+		<-done
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Simulation cost model
+// ---------------------------------------------------------------------------
+
+// StreamKernel identifies one of the five Babelstream kernels.
+type StreamKernel int
+
+// The five kernels, in canonical order.
+const (
+	KCopy StreamKernel = iota
+	KMul
+	KAdd
+	KTriad
+	KDot
+)
+
+func (k StreamKernel) String() string {
+	switch k {
+	case KCopy:
+		return "copy"
+	case KMul:
+		return "mul"
+	case KAdd:
+		return "add"
+	case KTriad:
+		return "triad"
+	case KDot:
+		return "dot"
+	default:
+		return "?"
+	}
+}
+
+// bytesMoved returns the traffic per element of each kernel (read+write of
+// float64 operands).
+func (k StreamKernel) bytesPerElem() float64 {
+	switch k {
+	case KCopy, KMul:
+		return 16 // one read + one write
+	case KAdd, KTriad:
+		return 24 // two reads + one write
+	case KDot:
+		return 16 // two reads
+	default:
+		return 0
+	}
+}
+
+// StreamSpec is the Babelstream cost model: Iters iterations of the five
+// kernels, each a memory-bound parallel region over Units work units.
+type StreamSpec struct {
+	// ArrayBytes is the size of one array in bytes.
+	ArrayBytes float64
+	// Iters is the number of iterations of the 5-kernel sequence.
+	Iters int
+	// Units is the number of work units per kernel.
+	Units int
+	// Kernels optionally restricts the kernel sequence (nil = all five);
+	// Figure 2 uses only the dot kernel.
+	Kernels []StreamKernel
+	// SYCLFactor is the DPC++-vs-OpenMP gap for streaming kernels.
+	SYCLFactor float64
+}
+
+// DefaultStreamSpec sizes the workload so the Intel baseline lands near the
+// paper's ~1.9 s.
+func DefaultStreamSpec() StreamSpec {
+	return StreamSpec{
+		ArrayBytes: 64 << 20, // 64 MiB per array
+		Iters:      80,
+		SYCLFactor: 1.10,
+	}
+}
+
+// Name implements Workload.
+func (s StreamSpec) Name() string { return "babelstream" }
+
+// kernels returns the kernel list (default all five).
+func (s StreamSpec) kernels() []StreamKernel {
+	if len(s.Kernels) > 0 {
+		return s.Kernels
+	}
+	return []StreamKernel{KCopy, KMul, KAdd, KTriad, KDot}
+}
+
+// TotalBytes returns the model's total memory traffic.
+func (s StreamSpec) TotalBytes() float64 {
+	elems := s.ArrayBytes / 8
+	var per float64
+	for _, k := range s.kernels() {
+		per += k.bytesPerElem() * elems
+	}
+	return per * float64(s.Iters)
+}
+
+// Body implements Workload.
+func (s StreamSpec) Body() parmodel.Body {
+	return func(m parmodel.Model) {
+		f := syclScale(m, s.SYCLFactor)
+		units := unitsFor(m, s.Units)
+		elems := s.ArrayBytes / 8
+		for it := 0; it < s.Iters; it++ {
+			for _, k := range s.kernels() {
+				bytesPerUnit := k.bytesPerElem() * elems / float64(units)
+				// A little arithmetic per element rides along (~0.5
+				// cycles/elem), negligible next to bandwidth.
+				cyclesPerUnit := 0.5 * elems / float64(units)
+				unit := parmodel.Cost{Cycles: cyclesPerUnit * f, Bytes: bytesPerUnit * f}
+				m.ParallelFor(units, func(int) parmodel.Cost { return unit })
+				if k == KDot {
+					// Serial reduction of per-thread partials.
+					m.MasterCompute(float64(m.Threads()) * 30 * f)
+				}
+			}
+		}
+	}
+}

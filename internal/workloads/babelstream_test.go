@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamVerifyAfterIterations(t *testing.T) {
+	s := NewStream(10000)
+	const iters = 7
+	s.RunAll(iters, 4)
+	if err := s.Verify(iters); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamKernelsSemantics(t *testing.T) {
+	s := NewStream(100)
+	s.Copy(2)
+	for i, v := range s.C {
+		if v != s.A[i] {
+			t.Fatal("copy wrong")
+		}
+	}
+	s.Mul(2)
+	for i, v := range s.B {
+		if math.Abs(v-s.Scalar*s.C[i]) > 1e-15 {
+			t.Fatal("mul wrong")
+		}
+	}
+	s.Add(2)
+	for i, v := range s.C {
+		if math.Abs(v-(s.A[i]+s.B[i])) > 1e-15 {
+			t.Fatal("add wrong")
+		}
+	}
+	prevB := append([]float64(nil), s.B...)
+	prevC := append([]float64(nil), s.C...)
+	s.Triad(2)
+	for i, v := range s.A {
+		if math.Abs(v-(prevB[i]+s.Scalar*prevC[i])) > 1e-15 {
+			t.Fatal("triad wrong")
+		}
+	}
+}
+
+func TestStreamDotMatchesSerial(t *testing.T) {
+	s := NewStream(12345)
+	for i := range s.A {
+		s.A[i] = float64(i % 17)
+		s.B[i] = float64(i % 13)
+	}
+	var want float64
+	for i := range s.A {
+		want += s.A[i] * s.B[i]
+	}
+	got := s.Dot(8)
+	if math.Abs(got-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("dot = %v, want %v", got, want)
+	}
+	if one := s.Dot(1); math.Abs(one-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("single-thread dot = %v, want %v", one, want)
+	}
+}
+
+func TestStreamVerifyCatchesCorruption(t *testing.T) {
+	s := NewStream(1000)
+	s.RunAll(3, 2)
+	s.A[500] += 1.0
+	if err := s.Verify(3); err == nil {
+		t.Fatal("corrupted array should fail verification")
+	}
+}
+
+func TestStreamSpecTotals(t *testing.T) {
+	s := StreamSpec{ArrayBytes: 800, Iters: 2, Units: 4}
+	// 100 elems; per iter: (16+16+24+24+16)*100 = 9600; x2 = 19200.
+	if got := s.TotalBytes(); got != 19200 {
+		t.Fatalf("TotalBytes = %g", got)
+	}
+	dotOnly := StreamSpec{ArrayBytes: 800, Iters: 1, Units: 4, Kernels: []StreamKernel{KDot}}
+	if got := dotOnly.TotalBytes(); got != 1600 {
+		t.Fatalf("dot-only TotalBytes = %g", got)
+	}
+}
+
+func TestStreamKernelStrings(t *testing.T) {
+	want := map[StreamKernel]string{KCopy: "copy", KMul: "mul", KAdd: "add", KTriad: "triad", KDot: "dot"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Fatalf("kernel %d string %q", k, k.String())
+		}
+	}
+}
+
+func BenchmarkStreamTriadReal(b *testing.B) {
+	s := NewStream(1 << 20)
+	b.SetBytes(3 * 8 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Triad(4)
+	}
+}
+
+func BenchmarkStreamDotReal(b *testing.B) {
+	s := NewStream(1 << 20)
+	b.SetBytes(2 * 8 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Dot(4)
+	}
+}

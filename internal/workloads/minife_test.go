@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMiniFEAssemblyStructure(t *testing.T) {
+	m := NewMiniFE(4, 2)
+	n := 4 * 4 * 4
+	if m.A.N != n {
+		t.Fatalf("rows = %d, want %d", m.A.N, n)
+	}
+	// A corner node has 2*2*2 = 8 neighbors (incl. itself); an interior
+	// node has 27.
+	corner := m.A.RowPtr[1] - m.A.RowPtr[0]
+	if corner != 8 {
+		t.Fatalf("corner row nnz = %d, want 8", corner)
+	}
+	interior := 1 + 1*4 + 1*16 // node (1,1,1)
+	got := m.A.RowPtr[interior+1] - m.A.RowPtr[interior]
+	if got != 27 {
+		t.Fatalf("interior row nnz = %d, want 27", got)
+	}
+}
+
+func TestMiniFEMatrixSymmetricDiagonallyDominant(t *testing.T) {
+	m := NewMiniFE(3, 1)
+	a := m.A
+	// Build a dense map for symmetry checking (tiny problem).
+	dense := make(map[[2]int]float64)
+	for r := 0; r < a.N; r++ {
+		var offSum, diag float64
+		for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+			c := a.ColIdx[p]
+			dense[[2]int{r, c}] = a.Values[p]
+			if c == r {
+				diag = a.Values[p]
+			} else {
+				offSum += math.Abs(a.Values[p])
+			}
+		}
+		if diag <= offSum-1e-12 {
+			t.Fatalf("row %d not diagonally dominant: diag=%v off=%v", r, diag, offSum)
+		}
+	}
+	for key, v := range dense {
+		if dense[[2]int{key[1], key[0]}] != v {
+			t.Fatalf("matrix not symmetric at %v", key)
+		}
+	}
+}
+
+func TestMiniFECGConverges(t *testing.T) {
+	m := NewMiniFE(8, 4)
+	res := m.SolveCG(200, 1e-10, 4)
+	if res.Residual > 1e-9 {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	if err := m.SolutionError(); err > 1e-8 {
+		t.Fatalf("solution error %g vs exact ones", err)
+	}
+}
+
+func TestMiniFECGParallelMatchesSerial(t *testing.T) {
+	a := NewMiniFE(6, 1)
+	b := NewMiniFE(6, 4)
+	ra := a.SolveCG(50, 1e-12, 1)
+	rb := b.SolveCG(50, 1e-12, 4)
+	if ra.Iters != rb.Iters {
+		t.Fatalf("iteration counts differ: %d vs %d", ra.Iters, rb.Iters)
+	}
+	for i := range a.X {
+		if math.Abs(a.X[i]-b.X[i]) > 1e-9 {
+			t.Fatalf("solutions diverge at %d", i)
+		}
+	}
+}
+
+func TestSpMVKnownResult(t *testing.T) {
+	// 2x2x2 grid: every node couples to all 8 nodes. Diagonal 26, seven
+	// -1 neighbors: A*ones = 26 - 7 = 19 in every row.
+	m := NewMiniFE(2, 1)
+	for _, v := range m.B {
+		if v != 19 {
+			t.Fatalf("b = %v, want all 19", m.B)
+		}
+	}
+}
+
+func TestMiniFESpecString(t *testing.T) {
+	s := MiniFESpec{Dim: 10, CGIters: 5}
+	if s.String() == "" || s.Name() != "minife" {
+		t.Fatal("labels")
+	}
+}
+
+func BenchmarkMiniFESpMVReal(b *testing.B) {
+	m := NewMiniFE(24, 4)
+	x := make([]float64, m.A.N)
+	y := make([]float64, m.A.N)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.A.SpMV(x, y, 4)
+	}
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/parmodel"
+)
+
+// ---------------------------------------------------------------------------
+// Real N-body kernel: all-pairs gravitational interactions with leapfrog
+// (kick-drift-kick) integration, goroutine-parallel over body ranges. This
+// is the classic HeCBench/SHOC-style N-body benchmark structure.
+// ---------------------------------------------------------------------------
+
+// NBody is an all-pairs gravitational N-body system.
+type NBody struct {
+	N          int
+	Pos        [][3]float64
+	Vel        [][3]float64
+	Mass       []float64
+	Softening2 float64 // softening epsilon squared
+	G          float64
+}
+
+// NewNBody creates a deterministic N-body system: bodies on a jittered
+// lattice with small random velocities, derived from seed.
+func NewNBody(n int, seed uint64) *NBody {
+	b := &NBody{
+		N:          n,
+		Pos:        make([][3]float64, n),
+		Vel:        make([][3]float64, n),
+		Mass:       make([]float64, n),
+		Softening2: 1e-4,
+		G:          1.0,
+	}
+	s := seed
+	next := func() float64 {
+		// splitmix64 to [0,1)
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+	side := int(math.Cbrt(float64(n))) + 1
+	for i := 0; i < n; i++ {
+		x := float64(i%side) + 0.3*next()
+		y := float64((i/side)%side) + 0.3*next()
+		z := float64(i/(side*side)) + 0.3*next()
+		b.Pos[i] = [3]float64{x, y, z}
+		b.Vel[i] = [3]float64{0.01 * (next() - 0.5), 0.01 * (next() - 0.5), 0.01 * (next() - 0.5)}
+		b.Mass[i] = 1.0 / float64(n)
+	}
+	return b
+}
+
+// Accel computes accelerations for bodies [lo, hi) into acc.
+func (b *NBody) Accel(acc [][3]float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var ax, ay, az float64
+		pi := b.Pos[i]
+		for j := 0; j < b.N; j++ {
+			dx := b.Pos[j][0] - pi[0]
+			dy := b.Pos[j][1] - pi[1]
+			dz := b.Pos[j][2] - pi[2]
+			r2 := dx*dx + dy*dy + dz*dz + b.Softening2
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f := b.G * b.Mass[j] * inv
+			ax += f * dx
+			ay += f * dy
+			az += f * dz
+		}
+		acc[i] = [3]float64{ax, ay, az}
+	}
+}
+
+// Step advances the system by dt using leapfrog, computing forces with
+// `threads` goroutines.
+func (b *NBody) Step(dt float64, threads int, acc [][3]float64) {
+	if threads < 1 {
+		threads = 1
+	}
+	parallelRanges(b.N, threads, func(lo, hi int) { b.Accel(acc, lo, hi) })
+	for i := 0; i < b.N; i++ {
+		b.Vel[i][0] += acc[i][0] * dt
+		b.Vel[i][1] += acc[i][1] * dt
+		b.Vel[i][2] += acc[i][2] * dt
+		b.Pos[i][0] += b.Vel[i][0] * dt
+		b.Pos[i][1] += b.Vel[i][1] * dt
+		b.Pos[i][2] += b.Vel[i][2] * dt
+	}
+}
+
+// Run advances steps timesteps and returns the final total energy.
+func (b *NBody) Run(steps int, dt float64, threads int) float64 {
+	acc := make([][3]float64, b.N)
+	for s := 0; s < steps; s++ {
+		b.Step(dt, threads, acc)
+	}
+	return b.Energy()
+}
+
+// Energy returns kinetic plus potential energy (serial; O(N^2)).
+func (b *NBody) Energy() float64 {
+	var ke, pe float64
+	for i := 0; i < b.N; i++ {
+		v := b.Vel[i]
+		ke += 0.5 * b.Mass[i] * (v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		for j := i + 1; j < b.N; j++ {
+			dx := b.Pos[j][0] - b.Pos[i][0]
+			dy := b.Pos[j][1] - b.Pos[i][1]
+			dz := b.Pos[j][2] - b.Pos[i][2]
+			r := math.Sqrt(dx*dx + dy*dy + dz*dz + b.Softening2)
+			pe -= b.G * b.Mass[i] * b.Mass[j] / r
+		}
+	}
+	return ke + pe
+}
+
+// parallelRanges splits [0, n) into `threads` contiguous ranges and runs fn
+// on each concurrently.
+func parallelRanges(n, threads int, fn func(lo, hi int)) {
+	if threads <= 1 || n < threads {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Simulation cost model
+// ---------------------------------------------------------------------------
+
+// NBodySpec is the N-body cost model: Steps parallel regions, each
+// computing Bodies^2 pair interactions split into Units work units.
+// Compute-bound: the working set fits in cache, so memory traffic is
+// negligible.
+type NBodySpec struct {
+	// Bodies is N; interactions per step are N^2.
+	Bodies int
+	// Steps is the number of timesteps (one parallel region each).
+	Steps int
+	// Units is the number of work units per region (blocks of bodies).
+	Units int
+	// CyclesPerPair is the cost of one pair interaction in CPU cycles
+	// (rsqrt + FMA chain, amortized over SIMD lanes).
+	CyclesPerPair float64
+	// SYCLFactor is the DPC++-vs-OpenMP efficiency gap for this kernel.
+	SYCLFactor float64
+}
+
+// DefaultNBodySpec sizes the workload so the Intel platform's baseline
+// lands near the paper's ~0.45 s. Units 0 = adaptive (8 per thread).
+func DefaultNBodySpec() NBodySpec {
+	return NBodySpec{
+		Bodies:        32768,
+		Steps:         16,
+		CyclesPerPair: 1.0,
+		SYCLFactor:    1.30,
+	}
+}
+
+// Name implements Workload.
+func (s NBodySpec) Name() string { return "nbody" }
+
+// TotalCycles returns the model's total compute demand.
+func (s NBodySpec) TotalCycles() float64 {
+	return float64(s.Bodies) * float64(s.Bodies) * float64(s.Steps) * s.CyclesPerPair
+}
+
+// Body implements Workload.
+func (s NBodySpec) Body() parmodel.Body {
+	return func(m parmodel.Model) {
+		f := syclScale(m, s.SYCLFactor)
+		units := unitsFor(m, s.Units)
+		pairsPerUnit := float64(s.Bodies) * float64(s.Bodies) / float64(units)
+		unit := parmodel.Cost{Cycles: pairsPerUnit * s.CyclesPerPair * f}
+		for step := 0; step < s.Steps; step++ {
+			m.ParallelFor(units, func(int) parmodel.Cost { return unit })
+			// Leapfrog integration: small serial update per step.
+			m.MasterCompute(float64(s.Bodies) * 12 * f)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNBodyEnergyConservation(t *testing.T) {
+	b := NewNBody(256, 1)
+	e0 := b.Energy()
+	b.Run(20, 1e-4, 4)
+	e1 := b.Energy()
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 0.01 {
+		t.Fatalf("energy drift %.4f%% too large (e0=%g e1=%g)", drift*100, e0, e1)
+	}
+}
+
+func TestNBodyDeterministicInit(t *testing.T) {
+	a := NewNBody(64, 7)
+	b := NewNBody(64, 7)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("same seed must give identical initial conditions")
+		}
+	}
+	c := NewNBody(64, 8)
+	if a.Pos[0] == c.Pos[0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestNBodyParallelMatchesSerial(t *testing.T) {
+	serial := NewNBody(128, 3)
+	parallel := NewNBody(128, 3)
+	serial.Run(5, 1e-4, 1)
+	parallel.Run(5, 1e-4, 4)
+	for i := range serial.Pos {
+		for d := 0; d < 3; d++ {
+			if math.Abs(serial.Pos[i][d]-parallel.Pos[i][d]) > 1e-12 {
+				t.Fatalf("body %d diverged between serial and parallel", i)
+			}
+		}
+	}
+}
+
+func TestNBodyTwoBodyAttraction(t *testing.T) {
+	b := &NBody{
+		N:          2,
+		Pos:        [][3]float64{{0, 0, 0}, {1, 0, 0}},
+		Vel:        make([][3]float64, 2),
+		Mass:       []float64{1, 1},
+		Softening2: 1e-9,
+		G:          1,
+	}
+	acc := make([][3]float64, 2)
+	b.Accel(acc, 0, 2)
+	if acc[0][0] <= 0 || acc[1][0] >= 0 {
+		t.Fatalf("bodies must attract: %v", acc)
+	}
+	if math.Abs(acc[0][0]+acc[1][0]) > 1e-6 {
+		t.Fatalf("forces must be equal and opposite: %v", acc)
+	}
+	// |a| = G*m/r^2 = 1.
+	if math.Abs(acc[0][0]-1) > 1e-3 {
+		t.Fatalf("acceleration magnitude %v, want ~1", acc[0][0])
+	}
+}
+
+func TestNBodySpecTotals(t *testing.T) {
+	s := NBodySpec{Bodies: 1000, Steps: 4, Units: 8, CyclesPerPair: 2}
+	if got := s.TotalCycles(); got != 1000*1000*4*2 {
+		t.Fatalf("TotalCycles = %g", got)
+	}
+	if s.Name() != "nbody" {
+		t.Fatal("name")
+	}
+}
+
+func BenchmarkNBodyStepReal(b *testing.B) {
+	nb := NewNBody(2048, 1)
+	acc := make([][3]float64, nb.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.Step(1e-4, 4, acc)
+	}
+}

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpusched"
+	"repro/internal/machine"
+	"repro/internal/mitigate"
+	"repro/internal/omprt"
+	"repro/internal/parmodel"
+	"repro/internal/sim"
+	"repro/internal/syclrt"
+)
+
+func TestSchedBenchChecksumsAgree(t *testing.T) {
+	sb := &SchedBench{N: 200, Work: 50, Imbalance: 1.0}
+	ref := sb.Run(SchedStatic, 1, 1)
+	for _, kind := range []SchedKind{SchedStatic, SchedDynamic, SchedGuided} {
+		for _, chunk := range []int{1, 4, 16} {
+			for _, threads := range []int{1, 2, 4} {
+				got := sb.Run(kind, chunk, threads)
+				if math.Abs(got-ref) > math.Abs(ref)*1e-12 {
+					t.Fatalf("kind=%d chunk=%d threads=%d checksum %v != %v",
+						kind, chunk, threads, got, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedBenchWorkRamp(t *testing.T) {
+	sb := &SchedBench{N: 100, Work: 100, Imbalance: 1.0}
+	if sb.workOf(0) != 100 {
+		t.Fatalf("workOf(0) = %d", sb.workOf(0))
+	}
+	if sb.workOf(99) != 199 {
+		t.Fatalf("workOf(99) = %d", sb.workOf(99))
+	}
+}
+
+// runModel executes a workload cost model on the simulated tiny machine and
+// returns the wall time.
+func runModel(t *testing.T, w Workload, model string) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine()
+	topo := machine.MustPreset(machine.TinyTest)
+	opt := cpusched.Defaults()
+	s := cpusched.New(eng, topo, opt)
+	plan := mitigate.MustApply(mitigate.TP, topo)
+	var doneTask *cpusched.Task
+	switch model {
+	case "omp":
+		team := omprt.Start(s, plan, omprt.DefaultConfig(), w.Body())
+		doneTask = team.Master()
+	case "sycl":
+		q := syclrt.Start(s, plan, syclrt.DefaultConfig(), w.Body())
+		doneTask = q.Host()
+	default:
+		t.Fatalf("bad model %q", model)
+	}
+	eng.RunWhile(func() bool { return !doneTask.Done() })
+	end := eng.Now()
+	s.Shutdown()
+	return end
+}
+
+func smallSpecs(t *testing.T) []Workload {
+	t.Helper()
+	var out []Workload
+	for _, name := range Names() {
+		w, err := ByName(name, "small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestModelsRunOnBothRuntimes(t *testing.T) {
+	for _, w := range smallSpecs(t) {
+		omp := runModel(t, w, "omp")
+		sycl := runModel(t, w, "sycl")
+		if omp <= 0 || sycl <= 0 {
+			t.Fatalf("%s: zero exec time", w.Name())
+		}
+		if w.Name() == "schedbench" {
+			continue // OpenMP-only in the paper; factor 1.0
+		}
+		if sycl <= omp {
+			t.Fatalf("%s: SYCL (%v) should be slower raw than OMP (%v)", w.Name(), sycl, omp)
+		}
+	}
+}
+
+func TestSYCLGapOrderingAcrossWorkloads(t *testing.T) {
+	// The paper's baselines: MiniFE has the largest SYCL/OMP gap, then
+	// N-body, then Babelstream.
+	gap := func(name string) float64 {
+		w, err := ByName(name, "small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		omp := runModel(t, w, "omp")
+		sycl := runModel(t, w, "sycl")
+		return float64(sycl) / float64(omp)
+	}
+	nbody := gap("nbody")
+	stream := gap("babelstream")
+	minife := gap("minife")
+	if !(minife > nbody && nbody > stream && stream > 1.0) {
+		t.Fatalf("gap ordering wrong: minife=%.2f nbody=%.2f stream=%.2f", minife, nbody, stream)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("fft", "small"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestDefaultSpecsNamed(t *testing.T) {
+	if DefaultNBodySpec().Name() != "nbody" ||
+		DefaultStreamSpec().Name() != "babelstream" ||
+		DefaultMiniFESpec().Name() != "minife" ||
+		DefaultSchedBenchSpec().Name() != "schedbench" {
+		t.Fatal("spec names wrong")
+	}
+	if len(Names()) != 4 {
+		t.Fatal("Names() should list 4 workloads")
+	}
+}
+
+func TestSchedBenchModelImbalanceVisible(t *testing.T) {
+	// Static scheduling of an imbalanced ramp is slower than dynamic with
+	// small chunks (the classic schedbench observation).
+	spec := SchedBenchSpec{Outer: 5, N: 256, CyclesPerIter: 300e3, Imbalance: 2.0}
+	run := func(schedKind omprt.Schedule, chunk int) sim.Time {
+		eng := sim.NewEngine()
+		topo := machine.MustPreset(machine.TinyTest)
+		s := cpusched.New(eng, topo, cpusched.Defaults())
+		plan := mitigate.MustApply(mitigate.TP, topo)
+		cfg := omprt.DefaultConfig()
+		cfg.Schedule = schedKind
+		cfg.Chunk = chunk
+		team := omprt.Start(s, plan, cfg, spec.Body())
+		eng.RunWhile(func() bool { return !team.Master().Done() })
+		end := eng.Now()
+		s.Shutdown()
+		return end
+	}
+	static := run(omprt.Static, 0)
+	dynamic := run(omprt.Dynamic, 4)
+	if dynamic >= static {
+		t.Fatalf("dynamic (%v) should beat static (%v) on an imbalanced ramp", dynamic, static)
+	}
+}
+
+var modelSink parmodel.Cost
+
+func BenchmarkNBodyModelSim(b *testing.B) {
+	w, _ := ByName("nbody", "small")
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		topo := machine.MustPreset(machine.TinyTest)
+		s := cpusched.New(eng, topo, cpusched.Defaults())
+		plan := mitigate.MustApply(mitigate.TP, topo)
+		team := omprt.Start(s, plan, omprt.DefaultConfig(), w.Body())
+		eng.RunWhile(func() bool { return !team.Master().Done() })
+		s.Shutdown()
+	}
+}
