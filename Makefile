@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-tables bench-quick examples clean cover
+.PHONY: all build test vet fmt race bench bench-tables bench-quick examples clean cover
 
 all: build vet test
 
@@ -20,6 +20,11 @@ test:
 
 cover:
 	$(GO) test ./... -cover
+
+# Race-detector run across every package: the parallel execution layer
+# (internal/experiment.Executor) must stay data-race free.
+race:
+	$(GO) test -race ./...
 
 # Full benchmark harness: every table, figure, and ablation.
 bench:

@@ -10,13 +10,21 @@ package repro
 // and 200 injection reps); set REPRO_SCALE (e.g. "4") to multiply them, or
 // use cmd/noiselab for full control. Results are cached across benchmarks
 // within one `go test -bench` process so Table 6 reuses Tables 3-5.
+//
+// Repetitions fan out over the deterministic parallel execution layer
+// (experiment.Executor): results are bit-identical at any worker count.
+// Set REPRO_PARALLEL (e.g. "8") to bound the pool; it defaults to
+// GOMAXPROCS. BenchmarkParallelSpeedup reports the measured
+// sequential-vs-parallel ratio on this machine.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -411,6 +419,56 @@ func BenchmarkAblationBalancer(b *testing.B) {
 			fmt.Printf("\nAblation balancer (RmHK under injection): with=%.3fs without=%.3fs\n", with, without)
 			b.ReportMetric(with, "balanced-sec")
 			b.ReportMetric(without, "unbalanced-sec")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution-layer speedup
+// ---------------------------------------------------------------------------
+
+// BenchmarkParallelSpeedup measures the wall-clock of one baseline series
+// sequentially (parallelism 1) and over the default worker pool
+// (REPRO_PARALLEL or GOMAXPROCS), verifies the outputs are bit-identical,
+// and reports the speedup. On an N-core machine the ratio approaches the
+// worker count; on a single core it stays ~1.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	p, err := platform.New(Intel9700KF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := p.WorkloadSpec("nbody")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := Spec{Platform: p, Workload: w, Model: "omp", Strategy: Rm,
+		Seed: benchSeed, Tracing: true}
+	reps := benchReps().Baseline * 2
+	par := Executor{}
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		seqT, _, err := RunSeriesExec(context.Background(), Executor{Parallelism: 1}, spec, reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqDur := time.Since(t0)
+		t0 = time.Now()
+		parT, _, err := RunSeriesExec(context.Background(), par, spec, reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parDur := time.Since(t0)
+		for j := range seqT {
+			if seqT[j] != parT[j] {
+				b.Fatalf("rep %d: sequential %v != parallel %v", j, seqT[j], parT[j])
+			}
+		}
+		if i == 0 {
+			fmt.Printf("\nParallel speedup: %d reps, %d workers: sequential=%v parallel=%v (%.2fx)\n",
+				reps, par.Workers(), seqDur.Round(time.Millisecond),
+				parDur.Round(time.Millisecond), float64(seqDur)/float64(parDur))
+			b.ReportMetric(float64(seqDur)/float64(parDur), "speedup-x")
+			b.ReportMetric(float64(par.Workers()), "workers")
 		}
 	}
 }

@@ -32,6 +32,7 @@ func cmdAdvise(args []string) error {
 		},
 		Seed:      *c.seed,
 		Objective: advisor.Objective{WorstWeight: *worstWeight},
+		Exec:      newExec(),
 	}.Recommend()
 	if err != nil {
 		return err

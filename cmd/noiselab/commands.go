@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -11,6 +12,18 @@ import (
 	"repro/internal/mitigate"
 	"repro/internal/stats"
 )
+
+// newExec builds the executor every study-running subcommand shares,
+// honoring the global -parallel and -v flags.
+func newExec() repro.Executor {
+	e := repro.Executor{Parallelism: gParallel}
+	if gVerbose {
+		e.OnCell = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "cell %d/%d %s\n", done, total, label)
+		}
+	}
+	return e
+}
 
 // commonFlags bundles the run-configuration flags shared by several
 // subcommands.
@@ -113,7 +126,7 @@ func cmdBaseline(args []string) error {
 	if err != nil {
 		return err
 	}
-	times, _, err := repro.RunSeries(repro.Spec{
+	times, _, err := repro.RunSeriesExec(context.Background(), newExec(), repro.Spec{
 		Platform: p, Workload: w, Model: *c.model, Strategy: strat,
 		Seed: *c.seed, Tracing: true,
 	}, *reps)
@@ -143,7 +156,13 @@ func cmdGenConfig(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg, pr, err := repro.BuildConfig(p, *c.workload,
+	exec := newExec()
+	if gVerbose {
+		exec.OnRep = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "collect %d/%d\n", done, total)
+		}
+	}
+	cfg, pr, err := repro.BuildConfigExec(context.Background(), exec, p, *c.workload,
 		repro.ConfigSource{Model: *c.model, Strategy: strat, ID: 1},
 		*collect, !*original, *c.seed)
 	if err != nil {
@@ -194,7 +213,7 @@ func cmdInject(args []string) error {
 			fmt.Printf("injector-%d: %d events\n", ce.CPU, len(ce.Events))
 		}
 	}
-	times, _, err := repro.RunSeries(repro.Spec{
+	times, _, err := repro.RunSeriesExec(context.Background(), newExec(), repro.Spec{
 		Platform: p, Workload: w, Model: *c.model, Strategy: strat,
 		Seed: *c.seed, Inject: cfg,
 	}, *reps)
@@ -255,7 +274,8 @@ func cmdTable1(args []string) error {
 		return err
 	}
 	reps := repro.DefaultReps().Scale(*scale).Baseline
-	rows, err := repro.TracingOverhead(p, []string{"nbody", "babelstream", "minife"}, reps, *seed)
+	rows, err := repro.TracingOverheadExec(context.Background(), newExec(), p,
+		[]string{"nbody", "babelstream", "minife"}, reps, *seed)
 	if err != nil {
 		return err
 	}
@@ -279,6 +299,7 @@ func cmdTable2(args []string) error {
 		for _, w := range []string{"nbody", "babelstream", "minife"} {
 			res, err := (experiment.BaselineStudy{
 				Platform: p, Workload: w, Reps: reps, Seed: *seed,
+				Exec: newExec(),
 			}).Run()
 			if err != nil {
 				return err
@@ -309,6 +330,7 @@ func runInjectionStudy(workload string, scale float64, seed uint64) (*repro.Inje
 		Seed:               seed,
 		Improved:           true,
 		ConfigsPerPlatform: cfgPer,
+		Exec:               newExec(),
 	}
 	return st.Run()
 }
@@ -359,6 +381,7 @@ func cmdTable7(args []string) error {
 		Reps:     repro.DefaultReps().Scale(*scale),
 		Seed:     *seed,
 		Improved: !*original,
+		Exec:     newExec(),
 	}).Run()
 	if err != nil {
 		return err
@@ -373,7 +396,7 @@ func cmdFig1(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	series, err := repro.Figure1(*reps, *seed)
+	series, err := repro.Figure1Exec(context.Background(), newExec(), *reps, *seed)
 	if err != nil {
 		return err
 	}
@@ -390,7 +413,7 @@ func cmdFig2(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	series, err := repro.Figure2(*reps, *seed)
+	series, err := repro.Figure2Exec(context.Background(), newExec(), *reps, *seed)
 	if err != nil {
 		return err
 	}

@@ -29,16 +29,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 )
 
+// Global flags (before the subcommand): worker-pool size and progress.
+var (
+	gParallel int
+	gVerbose  bool
+)
+
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("noiselab", flag.ExitOnError)
+	global.Usage = usage
+	global.IntVar(&gParallel, "parallel", 0,
+		"worker-pool size for repetitions (0 = REPRO_PARALLEL or GOMAXPROCS; 1 = sequential)")
+	global.BoolVar(&gVerbose, "v", false, "report study progress (cell k/N) to stderr")
+	if err := global.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := global.Arg(0), global.Args()[1:]
 	var err error
 	switch cmd {
 	case "platforms":
@@ -107,6 +122,8 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `noiselab — reproducible performance evaluation under noise injection
 
+  noiselab [-parallel N] [-v] <subcommand> [flags]
+
   noiselab platforms | workloads
   noiselab run        -platform P -workload W -model M -strategy S [-seed N] [-trace out.txt]
   noiselab baseline   -platform P -workload W -model M -strategy S [-reps N]
@@ -117,6 +134,12 @@ func usage() {
   noiselab fig1 | fig2 [-reps N]
   noiselab fig3 | fig4 | fig5
   noiselab shapecheck [-scale F]
+
+Global flags (before the subcommand):
+  -parallel N   worker-pool size for repetitions; every study fans its reps
+                over the pool with bit-identical results (0 = REPRO_PARALLEL
+                env or GOMAXPROCS, 1 = sequential)
+  -v            report study progress (cell k/N) to stderr
 
 Run 'noiselab <subcommand> -h' for subcommand flags.
 `)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,7 +47,8 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	rows, err := repro.TracingOverhead(intel, []string{"nbody", "babelstream", "minife"}, reps.Baseline, *seed)
+	rows, err := repro.TracingOverheadExec(context.Background(), newExec(), intel,
+		[]string{"nbody", "babelstream", "minife"}, reps.Baseline, *seed)
 	if err != nil {
 		return err
 	}
@@ -64,6 +66,7 @@ func cmdReport(args []string) error {
 		for _, w := range []string{"nbody", "babelstream", "minife"} {
 			res, err := (experiment.BaselineStudy{
 				Platform: p, Workload: w, Reps: reps.Baseline, Seed: *seed,
+				Exec: newExec(),
 			}).Run()
 			if err != nil {
 				return err
@@ -106,6 +109,7 @@ func cmdReport(args []string) error {
 	// Table 7.
 	entries, err := (repro.AccuracyStudy{
 		Cases: repro.PaperAccuracyCases(), Reps: reps, Seed: *seed, Improved: true,
+		Exec: newExec(),
 	}).Run()
 	if err != nil {
 		return err
@@ -115,14 +119,14 @@ func cmdReport(args []string) error {
 	}
 
 	// Figures.
-	s1, err := repro.Figure1(*figReps, *seed)
+	s1, err := repro.Figure1Exec(context.Background(), newExec(), *figReps, *seed)
 	if err != nil {
 		return err
 	}
 	if err := write("fig1", repro.RenderFigure(1, "schedbench exec time (ms), reserved vs w/o", s1)); err != nil {
 		return err
 	}
-	s2, err := repro.Figure2(*figReps, *seed)
+	s2, err := repro.Figure2Exec(context.Background(), newExec(), *figReps, *seed)
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,7 @@ func cmdRunlevel(args []string) error {
 		Strategies: []mitigate.Strategy{strat},
 		Reps:       *reps,
 		Seed:       *c.seed,
+		Exec:       newExec(),
 	}).Run()
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg, pr, err := repro.BuildConfig(p, "minife",
+	ctx := context.Background()
+	exec := repro.Executor{} // parallel reps, deterministic results
+	cfg, pr, err := repro.BuildConfigExec(ctx, exec, p, "minife",
 		repro.ConfigSource{Model: "omp", Strategy: repro.Rm, ID: 1},
 		collect, true, seed)
 	if err != nil {
@@ -52,14 +55,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bt, _, err := repro.RunSeries(repro.Spec{
+		bt, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 			Platform: p, Workload: w, Model: "omp", Strategy: strat,
 			Seed: seed + 100, Tracing: true,
 		}, reps)
 		if err != nil {
 			log.Fatal(err)
 		}
-		it, _, err := repro.RunSeries(repro.Spec{
+		it, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 			Platform: p, Workload: w, Model: "omp", Strategy: strat,
 			Seed: seed + 200, Inject: cfg,
 		}, reps)

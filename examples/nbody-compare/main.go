@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg, pr, err := repro.BuildConfig(p, "nbody",
+	// Deterministic parallel repetitions (REPRO_PARALLEL bounds the pool).
+	ctx := context.Background()
+	exec := repro.Executor{}
+
+	cfg, pr, err := repro.BuildConfigExec(ctx, exec, p, "nbody",
 		repro.ConfigSource{Model: "omp", Strategy: repro.Rm, ID: 1},
 		collect, true, seed)
 	if err != nil {
@@ -40,14 +45,14 @@ func main() {
 	fmt.Printf("%-5s %-6s %12s %12s %9s\n", "model", "strat", "baseline(s)", "injected(s)", "change")
 	for _, model := range []string{"omp", "sycl"} {
 		for _, strat := range repro.Strategies() {
-			bt, _, err := repro.RunSeries(repro.Spec{
+			bt, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 				Platform: p, Workload: w, Model: model, Strategy: strat,
 				Seed: seed + 100, Tracing: true,
 			}, reps)
 			if err != nil {
 				log.Fatal(err)
 			}
-			it, _, err := repro.RunSeries(repro.Spec{
+			it, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 				Platform: p, Workload: w, Model: model, Strategy: strat,
 				Seed: seed + 200, Inject: cfg,
 			}, reps)

@@ -6,10 +6,15 @@
 // configuration while the workload runs, reporting the replication
 // accuracy and the impact of a housekeeping core.
 //
+// Repetitions fan out over repro.Executor's worker pool — results are
+// bit-identical to sequential runs at any worker count. Set
+// REPRO_PARALLEL=1 to force sequential execution.
+//
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,8 +48,13 @@ func main() {
 
 	fmt.Printf("== %s / %s / omp on %s ==\n", workload, "Rm", p.Name)
 
+	// All repetitions below run through one Executor: parallel across
+	// GOMAXPROCS workers (or REPRO_PARALLEL), deterministic regardless.
+	ctx := context.Background()
+	exec := repro.Executor{}
+
 	// Stage 0: baseline variability.
-	baseTimes, _, err := repro.RunSeries(repro.Spec{
+	baseTimes, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 		Platform: p, Workload: w, Model: "omp", Strategy: repro.Rm,
 		Seed: seed, Tracing: true,
 	}, reps)
@@ -57,7 +67,7 @@ func main() {
 
 	// Stages 1+2: collect traces, pick the worst case, subtract the
 	// average inherent noise, and generate the injection config.
-	cfg, pipeline, err := repro.BuildConfig(p, workload,
+	cfg, pipeline, err := repro.BuildConfigExec(ctx, exec, p, workload,
 		repro.ConfigSource{Model: "omp", Strategy: repro.Rm, ID: 1},
 		collect, true, seed)
 	if err != nil {
@@ -70,14 +80,14 @@ func main() {
 
 	// Stage 3: replay the worst case while the workload runs.
 	for _, strat := range []repro.Strategy{repro.Rm, repro.RmHK, repro.RmHK2} {
-		injTimes, _, err := repro.RunSeries(repro.Spec{
+		injTimes, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 			Platform: p, Workload: w, Model: "omp", Strategy: strat,
 			Seed: seed + 1000, Inject: cfg,
 		}, reps)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bt, _, err := repro.RunSeries(repro.Spec{
+		bt, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 			Platform: p, Workload: w, Model: "omp", Strategy: strat,
 			Seed: seed + 2000, Tracing: true,
 		}, reps)
@@ -90,7 +100,7 @@ func main() {
 	}
 
 	// Replication accuracy (Table-7 metric).
-	injTimes, _, err := repro.RunSeries(repro.Spec{
+	injTimes, _, err := repro.RunSeriesExec(ctx, exec, repro.Spec{
 		Platform: p, Workload: w, Model: "omp", Strategy: repro.Rm,
 		Seed: seed + 3000, Inject: cfg,
 	}, reps)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,8 +18,12 @@ import (
 func main() {
 	const reps = 12
 
+	// Sweep cells run their reps over the deterministic parallel executor.
+	ctx := context.Background()
+	exec := repro.Executor{}
+
 	fmt.Println("Figure 1 (miniature): schedbench, schedule:chunk sweep")
-	series, err := repro.Figure1(reps, 3)
+	series, err := repro.Figure1Exec(ctx, exec, reps, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +31,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("Figure 2 (miniature): Babelstream dot kernel, thread sweep")
-	series, err = repro.Figure2(reps, 3)
+	series, err = repro.Figure2Exec(ctx, exec, reps, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

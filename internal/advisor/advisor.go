@@ -9,6 +9,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,11 +87,19 @@ type Advisor struct {
 	Reps      experiment.RepCounts
 	Seed      uint64
 	Objective Objective
+	// Exec is the execution layer; the zero value runs with default
+	// parallelism.
+	Exec experiment.Executor
 }
 
 // Recommend benchmarks all strategies at baseline and under worst-case
 // injection and returns a recommendation.
 func (a Advisor) Recommend() (*Recommendation, error) {
+	return a.RecommendContext(context.Background())
+}
+
+// RecommendContext is Recommend under ctx.
+func (a Advisor) RecommendContext(ctx context.Context) (*Recommendation, error) {
 	if err := a.Objective.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,7 +111,7 @@ func (a Advisor) Recommend() (*Recommendation, error) {
 		return nil, err
 	}
 	// Worst-case config hunted under the roaming configuration.
-	cfg, _, err := experiment.BuildConfig(a.Platform, a.Workload,
+	cfg, _, err := experiment.BuildConfigExec(ctx, a.Exec, a.Platform, a.Workload,
 		experiment.ConfigSource{Model: a.Model, Strategy: mitigate.Rm, ID: 1},
 		a.Reps.Collect, true, a.Seed)
 	if err != nil {
@@ -115,7 +124,7 @@ func (a Advisor) Recommend() (*Recommendation, error) {
 			Platform: a.Platform, Workload: w, Model: a.Model, Strategy: strat,
 			Seed: a.Seed + 17, Tracing: true,
 		}
-		bt, _, err := experiment.RunSeries(baseSpec, a.Reps.Baseline)
+		bt, _, err := a.Exec.Series(ctx, baseSpec, a.Reps.Baseline)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +132,7 @@ func (a Advisor) Recommend() (*Recommendation, error) {
 		injSpec.Tracing = false
 		injSpec.Inject = cfg
 		injSpec.Seed = a.Seed + 31
-		it, _, err := experiment.RunSeries(injSpec, a.Reps.Inject)
+		it, _, err := a.Exec.Series(ctx, injSpec, a.Reps.Inject)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/mitigate"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// seedStride separates consecutive rep seeds of a series. Reps are a pure
+// function of (spec, seed), so any fixed stride works; this prime keeps the
+// historical seed sequence intact across the parallel refactor.
+const seedStride = 1000003
+
+// seedAt derives the seed for rep i of a series starting at base.
+func seedAt(base uint64, i int) uint64 { return base + uint64(i)*seedStride }
+
+// ProgressFunc receives completion updates from a running study: done of
+// total units are finished, and label names the unit that just completed.
+// Callbacks are serialized; keep them fast.
+type ProgressFunc func(done, total int, label string)
+
+// Executor is the execution layer every study fans its repetitions through.
+// Reps of a series are pure functions of (spec, seed), so the executor runs
+// them on a bounded worker pool while guaranteeing results bit-identical to
+// sequential execution: per-rep seeds are derived by index (seedAt), every
+// rep gets its own simulation engine and scheduler, and results land in
+// index-addressed slots so ordering never depends on goroutine completion.
+//
+// The zero value is ready to use and runs with Workers() parallelism.
+type Executor struct {
+	// Parallelism bounds the worker pool. 0 consults REPRO_PARALLEL and
+	// falls back to runtime.GOMAXPROCS(0); negative values mean 1
+	// (strictly sequential).
+	Parallelism int
+	// OnRep, when non-nil, is called after each rep of a series
+	// completes, with the count of completed reps and the series total.
+	// Calls are serialized but not index-ordered.
+	OnRep func(done, total int)
+	// OnCell, when non-nil, receives study-level progress: one call per
+	// completed experiment cell (a series, pipeline, or case).
+	OnCell ProgressFunc
+}
+
+// Workers resolves the effective worker-pool size.
+func (e Executor) Workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	if e.Parallelism < 0 {
+		return 1
+	}
+	if v := os.Getenv("REPRO_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// run executes rep(i) for every i in [0, n) over the worker pool. The first
+// error cancels the remaining (not yet started) reps; when several reps
+// fail, the lowest rep index deterministically wins. A parent-context
+// cancellation surfaces as ctx.Err() once in-flight reps have drained.
+func (e Executor) run(ctx context.Context, n int, rep func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		next     int
+		done     int
+		firstIdx = -1
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				err := rep(i)
+				mu.Lock()
+				if err != nil {
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				done++
+				if e.OnRep != nil {
+					e.OnRep(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstIdx >= 0 {
+		return fmt.Errorf("experiment: rep %d: %w", firstIdx, firstErr)
+	}
+	if err := context.Cause(ctx); err != nil && err != context.Canceled {
+		return fmt.Errorf("experiment: series interrupted after %d of %d reps: %w", done, n, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("experiment: series interrupted after %d of %d reps: %w", done, n, err)
+	}
+	return nil
+}
+
+// Series executes reps runs of spec with index-derived seeds and returns
+// the execution times in rep order (and the traces, when spec.Tracing).
+// Output is bit-identical for every parallelism level.
+func (e Executor) Series(ctx context.Context, spec Spec, reps int) ([]sim.Time, []*trace.Trace, error) {
+	times := make([]sim.Time, reps)
+	traces := make([]*trace.Trace, reps)
+	err := e.run(ctx, reps, func(i int) error {
+		s := spec
+		s.Seed = seedAt(spec.Seed, i)
+		res, err := RunOnce(s)
+		if err != nil {
+			return err
+		}
+		times[i] = res.ExecTime
+		traces[i] = res.Trace
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return times[:reps:reps], compactTraces(traces), nil
+}
+
+// seriesWithPlan is Series with an explicit execution plan, bypassing
+// strategy derivation (the thread-count sweeps). Traces are not collected.
+func (e Executor) seriesWithPlan(ctx context.Context, spec Spec, plan *mitigate.Plan, reps int) ([]sim.Time, error) {
+	times := make([]sim.Time, reps)
+	err := e.run(ctx, reps, func(i int) error {
+		s := spec
+		s.Seed = seedAt(spec.Seed, i)
+		res, err := runOnceWithPlan(s, plan)
+		if err != nil {
+			return err
+		}
+		times[i] = res.ExecTime
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return times, nil
+}
+
+// compactTraces drops nil entries (untraced runs) preserving rep order,
+// returning nil when no run was traced.
+func compactTraces(traces []*trace.Trace) []*trace.Trace {
+	var out []*trace.Trace
+	for _, tr := range traces {
+		if tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// cellTracker counts completed study cells and forwards them to OnCell.
+// Studies advance it from their (sequential) cell loops.
+type cellTracker struct {
+	done, total int
+	cb          ProgressFunc
+}
+
+// cells builds a tracker for a study with the given cell count.
+func (e Executor) cells(total int) *cellTracker {
+	return &cellTracker{total: total, cb: e.OnCell}
+}
+
+// finish marks one more cell complete.
+func (c *cellTracker) finish(label string) {
+	c.done++
+	if c.cb != nil {
+		c.cb(c.done, c.total, label)
+	}
+}

@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mitigate"
+)
+
+func TestSeedAtMatchesHistoricalStride(t *testing.T) {
+	if seedAt(7, 0) != 7 {
+		t.Fatalf("seedAt(7,0) = %d", seedAt(7, 0))
+	}
+	if got, want := seedAt(7, 3), uint64(7+3*1000003); got != want {
+		t.Fatalf("seedAt(7,3) = %d, want %d", got, want)
+	}
+}
+
+func TestExecutorWorkersResolution(t *testing.T) {
+	if w := (Executor{Parallelism: 3}).Workers(); w != 3 {
+		t.Fatalf("explicit parallelism: %d", w)
+	}
+	if w := (Executor{Parallelism: -1}).Workers(); w != 1 {
+		t.Fatalf("negative parallelism should mean sequential: %d", w)
+	}
+	t.Setenv("REPRO_PARALLEL", "5")
+	if w := (Executor{}).Workers(); w != 5 {
+		t.Fatalf("REPRO_PARALLEL: %d", w)
+	}
+	t.Setenv("REPRO_PARALLEL", "bogus")
+	if w := (Executor{}).Workers(); w < 1 {
+		t.Fatalf("fallback workers: %d", w)
+	}
+}
+
+// TestSeriesParallelDeterminism is the tentpole guarantee: for a fixed
+// seed, a traced series must produce byte-identical execution times and
+// identical traces at parallelism 1 and 8.
+func TestSeriesParallelDeterminism(t *testing.T) {
+	p := tinyPlatform(t)
+	spec := Spec{
+		Platform: p, Workload: tinyWorkload(t, "nbody"),
+		Model: "omp", Strategy: mitigate.Rm, Seed: 99, Tracing: true,
+	}
+	const reps = 8
+	seqT, seqTr, err := (Executor{Parallelism: 1}).Series(context.Background(), spec, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parT, parTr, err := (Executor{Parallelism: 8}).Series(context.Background(), spec, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqT, parT) {
+		t.Fatalf("execution times differ:\nseq: %v\npar: %v", seqT, parT)
+	}
+	if len(seqTr) != reps || len(parTr) != reps {
+		t.Fatalf("trace counts: seq %d par %d", len(seqTr), len(parTr))
+	}
+	for i := range seqTr {
+		if !reflect.DeepEqual(seqTr[i], parTr[i]) {
+			t.Fatalf("trace %d differs between parallelism 1 and 8", i)
+		}
+	}
+}
+
+// TestSeriesMatchesLegacySequential pins the parallel layer to the exact
+// seed derivation the sequential loop used: per-rep RunOnce at
+// spec.Seed + i*1000003.
+func TestSeriesMatchesLegacySequential(t *testing.T) {
+	p := tinyPlatform(t)
+	spec := Spec{
+		Platform: p, Workload: tinyWorkload(t, "minife"),
+		Model: "sycl", Strategy: mitigate.RmHK, Seed: 11,
+	}
+	const reps = 4
+	times, _, err := (Executor{Parallelism: 4}).Series(context.Background(), spec, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reps; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)*1000003
+		res, err := RunOnce(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if times[i] != res.ExecTime {
+			t.Fatalf("rep %d: series %v, RunOnce %v", i, times[i], res.ExecTime)
+		}
+	}
+}
+
+// TestSeriesLowestIndexErrorWins: when several reps fail concurrently, the
+// error of the lowest rep index must be reported.
+func TestSeriesLowestIndexErrorWins(t *testing.T) {
+	p := tinyPlatform(t)
+	spec := Spec{
+		Platform: p, Workload: tinyWorkload(t, "nbody"),
+		Model:    "tbb", // unknown model: every rep fails
+		Strategy: mitigate.Rm, Seed: 1,
+	}
+	_, _, err := (Executor{Parallelism: 8}).Series(context.Background(), spec, 8)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "rep 0:") {
+		t.Fatalf("lowest-index error should win, got: %v", err)
+	}
+}
+
+// TestSeriesCancellation: cancelling mid-series must stop promptly (not run
+// the full series) and surface the context error.
+func TestSeriesCancellation(t *testing.T) {
+	p := tinyPlatform(t)
+	spec := Spec{
+		Platform: p, Workload: tinyWorkload(t, "nbody"),
+		Model: "omp", Strategy: mitigate.Rm, Seed: 3,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	completed := 0
+	e := Executor{Parallelism: 2, OnRep: func(done, total int) {
+		mu.Lock()
+		completed = done
+		mu.Unlock()
+		cancel() // cancel as soon as the first rep lands
+	}}
+	const reps = 500
+	start := time.Now()
+	_, _, err := e.Series(ctx, spec, reps)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled series should error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error should wrap context.Canceled: %v", err)
+	}
+	mu.Lock()
+	c := completed
+	mu.Unlock()
+	if c >= reps/2 {
+		t.Fatalf("cancellation not prompt: %d of %d reps completed", c, reps)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestSeriesRepProgress: OnRep must count every rep exactly once up to the
+// total.
+func TestSeriesRepProgress(t *testing.T) {
+	p := tinyPlatform(t)
+	spec := Spec{
+		Platform: p, Workload: tinyWorkload(t, "nbody"),
+		Model: "omp", Strategy: mitigate.Rm, Seed: 4,
+	}
+	var mu sync.Mutex
+	var seen []int
+	e := Executor{Parallelism: 4, OnRep: func(done, total int) {
+		if total != 6 {
+			t.Errorf("total = %d", total)
+		}
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+	}}
+	if _, _, err := e.Series(context.Background(), spec, 6); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("OnRep called %d times", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("OnRep sequence %v not monotonic", seen)
+		}
+	}
+}
+
+// TestStudyCellProgress: a study must report cell progress with a correct
+// total through Executor.OnCell.
+func TestStudyCellProgress(t *testing.T) {
+	p := tinyPlatform(t)
+	var mu sync.Mutex
+	var labels []string
+	lastTotal := 0
+	st := BaselineStudy{
+		Platform: p, Workload: "nbody", Reps: 2, Seed: 5,
+		Exec: Executor{Parallelism: 2, OnCell: func(done, total int, label string) {
+			mu.Lock()
+			labels = append(labels, label)
+			lastTotal = total
+			mu.Unlock()
+		}},
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := len(Models) * len(mitigate.Columns())
+	if lastTotal != want {
+		t.Fatalf("cell total = %d, want %d", lastTotal, want)
+	}
+	if len(labels) != want {
+		t.Fatalf("cells reported = %d, want %d", len(labels), want)
+	}
+}
+
+// TestRunSeriesZeroReps preserves the historical empty-series behaviour.
+func TestRunSeriesZeroReps(t *testing.T) {
+	p := tinyPlatform(t)
+	times, traces, err := RunSeries(Spec{
+		Platform: p, Workload: tinyWorkload(t, "nbody"),
+		Model: "omp", Strategy: mitigate.Rm, Seed: 1,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 0 || traces != nil {
+		t.Fatalf("zero reps: %v %v", times, traces)
+	}
+}

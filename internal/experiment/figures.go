@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/machine"
@@ -38,6 +39,11 @@ func systemLabel(name string) string {
 // "xy:number" format) on the A64FX with and without firmware-reserved OS
 // cores.
 func Figure1(reps int, seed uint64) ([]FigureSeries, error) {
+	return Figure1Exec(context.Background(), Executor{}, reps, seed)
+}
+
+// Figure1Exec is Figure1 under an explicit executor and context.
+func Figure1Exec(ctx context.Context, e Executor, reps int, seed uint64) ([]FigureSeries, error) {
 	type combo struct {
 		sched omprt.Schedule
 		label string
@@ -53,6 +59,7 @@ func Figure1(reps int, seed uint64) ([]FigureSeries, error) {
 		}
 	}
 	var out []FigureSeries
+	prog := e.cells(2 * len(combos))
 	for _, pname := range []string{machine.A64FXRsv, machine.A64FXNoRsv} {
 		p, err := platform.New(pname)
 		if err != nil {
@@ -71,10 +78,11 @@ func Figure1(reps int, seed uint64) ([]FigureSeries, error) {
 				Seed: seedFor(seed, "fig1", pname, c.label),
 				OMP:  &cfg,
 			}
-			times, _, err := RunSeries(spec, reps)
+			times, _, err := e.Series(ctx, spec, reps)
 			if err != nil {
 				return nil, fmt.Errorf("figure1 %s %s: %w", pname, c.label, err)
 			}
+			prog.finish("fig1 " + pname + " " + c.label)
 			sum := stats.SummarizeTimes(times)
 			ms := make([]float64, len(times))
 			for i, t := range times {
@@ -97,8 +105,14 @@ func Figure1(reps int, seed uint64) ([]FigureSeries, error) {
 // systems. Without reserved cores, variability blows up once all 48 cores
 // are occupied by the workload and nothing is left to absorb OS activity.
 func Figure2(reps int, seed uint64) ([]FigureSeries, error) {
+	return Figure2Exec(context.Background(), Executor{}, reps, seed)
+}
+
+// Figure2Exec is Figure2 under an explicit executor and context.
+func Figure2Exec(ctx context.Context, e Executor, reps int, seed uint64) ([]FigureSeries, error) {
 	threadCounts := []int{8, 16, 24, 32, 40, 48}
 	var out []FigureSeries
+	prog := e.cells(2 * len(threadCounts))
 	for _, pname := range []string{machine.A64FXRsv, machine.A64FXNoRsv} {
 		p, err := platform.New(pname)
 		if err != nil {
@@ -125,10 +139,11 @@ func Figure2(reps int, seed uint64) ([]FigureSeries, error) {
 				Platform: p, Workload: spec, Model: "omp",
 				Seed: seedFor(seed, "fig2", pname, fmt.Sprint(threads)),
 			}
-			times, err := runSeriesWithPlan(sp, plan, reps)
+			times, err := e.seriesWithPlan(ctx, sp, plan, reps)
 			if err != nil {
 				return nil, fmt.Errorf("figure2 %s %d: %w", pname, threads, err)
 			}
+			prog.finish(fmt.Sprintf("fig2 %s %d threads", pname, threads))
 			sum := stats.SummarizeTimes(times)
 			ms := make([]float64, len(times))
 			for i, tt := range times {

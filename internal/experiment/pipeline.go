@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -19,6 +20,9 @@ type Pipeline struct {
 	CollectRuns int
 	// Improved selects the improved merge for config generation.
 	Improved bool
+	// Exec is the execution layer for the collection stage; the zero
+	// value runs with default parallelism.
+	Exec Executor
 }
 
 // PipelineResult carries every artifact of a pipeline run.
@@ -44,13 +48,19 @@ type PipelineResult struct {
 // Run executes collection, averaging, worst-case selection, refinement and
 // config generation.
 func (p Pipeline) Run() (*PipelineResult, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the pipeline under ctx; the collection stage fans
+// its traced runs over the executor's worker pool.
+func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 	if p.CollectRuns <= 1 {
 		return nil, fmt.Errorf("experiment: pipeline needs at least 2 collection runs")
 	}
 	spec := p.Spec
 	spec.Tracing = true
 	spec.Inject = nil
-	_, traces, err := RunSeries(spec, p.CollectRuns)
+	_, traces, err := p.Exec.Series(ctx, spec, p.CollectRuns)
 	if err != nil {
 		return nil, err
 	}

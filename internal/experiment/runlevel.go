@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mitigate"
@@ -38,10 +39,18 @@ type RunlevelStudy struct {
 	Strategies []mitigate.Strategy
 	Reps       int
 	Seed       uint64
+	// Exec is the execution layer; the zero value runs with default
+	// parallelism.
+	Exec Executor
 }
 
 // Run measures each (workload, strategy) at both runlevels.
 func (st RunlevelStudy) Run() ([]RunlevelRow, error) {
+	return st.RunContext(context.Background())
+}
+
+// RunContext executes the study under ctx.
+func (st RunlevelStudy) RunContext(ctx context.Context) ([]RunlevelRow, error) {
 	if st.Model == "" {
 		st.Model = "omp"
 	}
@@ -49,6 +58,7 @@ func (st RunlevelStudy) Run() ([]RunlevelRow, error) {
 		st.Strategies = []mitigate.Strategy{mitigate.Rm}
 	}
 	var rows []RunlevelRow
+	prog := st.Exec.cells(2 * len(st.Workloads) * len(st.Strategies))
 	for _, wname := range st.Workloads {
 		w, err := st.Platform.WorkloadSpec(wname)
 		if err != nil {
@@ -60,15 +70,17 @@ func (st RunlevelStudy) Run() ([]RunlevelRow, error) {
 				Strategy: strat, Tracing: true,
 				Seed: seedFor(st.Seed, "runlevel", wname, strat.Name()),
 			}
-			rl5, _, err := RunSeries(spec, st.Reps)
+			rl5, _, err := st.Exec.Series(ctx, spec, st.Reps)
 			if err != nil {
 				return nil, fmt.Errorf("runlevel5 %s/%s: %w", wname, strat.Name(), err)
 			}
+			prog.finish("runlevel5 " + wname + " " + strat.Name())
 			spec.Runlevel3 = true
-			rl3, _, err := RunSeries(spec, st.Reps)
+			rl3, _, err := st.Exec.Series(ctx, spec, st.Reps)
 			if err != nil {
 				return nil, fmt.Errorf("runlevel3 %s/%s: %w", wname, strat.Name(), err)
 			}
+			prog.finish("runlevel3 " + wname + " " + strat.Name())
 			rows = append(rows, RunlevelRow{
 				Workload: wname,
 				Model:    st.Model,

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -176,37 +177,10 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 	return res, nil
 }
 
-// runSeriesWithPlan is RunSeries with an explicit execution plan.
-func runSeriesWithPlan(spec Spec, plan *mitigate.Plan, reps int) ([]sim.Time, error) {
-	times := make([]sim.Time, 0, reps)
-	for i := 0; i < reps; i++ {
-		s := spec
-		s.Seed = spec.Seed + uint64(i)*1000003
-		res, err := runOnceWithPlan(s, plan)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: rep %d: %w", i, err)
-		}
-		times = append(times, res.ExecTime)
-	}
-	return times, nil
-}
-
-// RunSeries executes reps runs with consecutive seeds and returns the
-// execution times (and traces when tracing).
+// RunSeries executes reps runs with index-derived seeds and returns the
+// execution times (and traces when tracing). It delegates to the default
+// Executor, fanning reps over a worker pool; see Executor for the
+// determinism guarantees and the parallelism knobs.
 func RunSeries(spec Spec, reps int) ([]sim.Time, []*trace.Trace, error) {
-	times := make([]sim.Time, 0, reps)
-	var traces []*trace.Trace
-	for i := 0; i < reps; i++ {
-		s := spec
-		s.Seed = spec.Seed + uint64(i)*1000003
-		res, err := RunOnce(s)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiment: rep %d: %w", i, err)
-		}
-		times = append(times, res.ExecTime)
-		if res.Trace != nil {
-			traces = append(traces, res.Trace)
-		}
-	}
-	return times, traces, nil
+	return Executor{}.Series(context.Background(), spec, reps)
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -70,6 +71,9 @@ type BaselineStudy struct {
 	Seed     uint64
 	// SMT additionally measures the SMT-enabled strategies (AMD rows).
 	SMT bool
+	// Exec is the execution layer; the zero value runs with default
+	// parallelism.
+	Exec Executor
 }
 
 // BaselineResult maps "model/strategy" to its cell.
@@ -86,6 +90,12 @@ func Key(model string, strat mitigate.Strategy) string {
 
 // Run executes the study.
 func (b BaselineStudy) Run() (*BaselineResult, error) {
+	return b.RunContext(context.Background())
+}
+
+// RunContext executes the study under ctx; cancellation stops the series
+// in flight and surfaces the context error.
+func (b BaselineStudy) RunContext(ctx context.Context) (*BaselineResult, error) {
 	w, err := b.Platform.WorkloadSpec(b.Workload)
 	if err != nil {
 		return nil, err
@@ -101,6 +111,7 @@ func (b BaselineStudy) Run() (*BaselineResult, error) {
 			strategies = append(strategies, s.WithSMT())
 		}
 	}
+	prog := b.Exec.cells(len(Models) * len(strategies))
 	for _, model := range Models {
 		for _, strat := range strategies {
 			spec := Spec{
@@ -111,7 +122,7 @@ func (b BaselineStudy) Run() (*BaselineResult, error) {
 				Seed:     seedFor(b.Seed, "baseline", b.Workload, model, strat.Name()),
 				Tracing:  true,
 			}
-			times, _, err := RunSeries(spec, b.Reps)
+			times, _, err := b.Exec.Series(ctx, spec, b.Reps)
 			if err != nil {
 				return nil, fmt.Errorf("baseline %s/%s/%s: %w", b.Workload, model, strat.Name(), err)
 			}
@@ -120,6 +131,7 @@ func (b BaselineStudy) Run() (*BaselineResult, error) {
 				Strategy: strat,
 				Summary:  stats.SummarizeTimes(times),
 			}
+			prog.finish("baseline " + b.Workload + " " + Key(model, strat))
 		}
 	}
 	return res, nil
@@ -153,6 +165,12 @@ func (c ConfigSource) Label() string {
 // generates its injection config.
 func BuildConfig(p *platform.Platform, workload string, src ConfigSource,
 	collectRuns int, improved bool, seed uint64) (*core.Config, *PipelineResult, error) {
+	return BuildConfigExec(context.Background(), Executor{}, p, workload, src, collectRuns, improved, seed)
+}
+
+// BuildConfigExec is BuildConfig under an explicit executor and context.
+func BuildConfigExec(ctx context.Context, e Executor, p *platform.Platform, workload string,
+	src ConfigSource, collectRuns int, improved bool, seed uint64) (*core.Config, *PipelineResult, error) {
 	w, err := p.WorkloadSpec(workload)
 	if err != nil {
 		return nil, nil, err
@@ -167,8 +185,9 @@ func BuildConfig(p *platform.Platform, workload string, src ConfigSource,
 		},
 		CollectRuns: collectRuns,
 		Improved:    improved,
+		Exec:        e,
 	}
-	pr, err := pl.Run()
+	pr, err := pl.RunContext(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -217,6 +236,9 @@ type InjectionStudy struct {
 	// ConfigsPerPlatform is how many alternate worst-case configs (#1,
 	// #2, ...) to build per platform; the paper varies this per table.
 	ConfigsPerPlatform map[string]int
+	// Exec is the execution layer; the zero value runs with default
+	// parallelism.
+	Exec Executor
 }
 
 // InjectionResult is the full table plus the artifacts behind it.
@@ -229,25 +251,51 @@ type InjectionResult struct {
 	Anomaly map[string][]float64
 }
 
+// configsFor resolves how many alternate configs a platform gets.
+func (st InjectionStudy) configsFor(p *platform.Platform) int {
+	if st.ConfigsPerPlatform != nil {
+		if v, ok := st.ConfigsPerPlatform[p.Name]; ok {
+			return v
+		}
+	}
+	return 1
+}
+
+// cellCount is the number of progress cells the study will report: one per
+// worst-case pipeline plus one per (row, strategy column).
+func (st InjectionStudy) cellCount() int {
+	total := 0
+	for _, p := range st.Platforms {
+		nCfg := st.configsFor(p)
+		smtModes := 1
+		if p.HasSMT {
+			smtModes = 2
+		}
+		total += nCfg + nCfg*len(Models)*smtModes*len(mitigate.Columns())
+	}
+	return total
+}
+
 // Run executes the study.
 func (st InjectionStudy) Run() (*InjectionResult, error) {
+	return st.RunContext(context.Background())
+}
+
+// RunContext executes the study under ctx.
+func (st InjectionStudy) RunContext(ctx context.Context) (*InjectionResult, error) {
 	out := &InjectionResult{
 		Workload: st.Workload,
 		Configs:  make(map[string][]*core.Config),
 		Anomaly:  make(map[string][]float64),
 	}
+	prog := st.Exec.cells(st.cellCount())
 	for _, p := range st.Platforms {
-		nCfg := 1
-		if st.ConfigsPerPlatform != nil {
-			if v, ok := st.ConfigsPerPlatform[p.Name]; ok {
-				nCfg = v
-			}
-		}
+		nCfg := st.configsFor(p)
 		// Stage 1+2: build the worst-case configs (paper: predominantly
 		// from OpenMP roaming runs).
 		var cfgs []*core.Config
 		for id := 1; id <= nCfg; id++ {
-			cfg, pr, err := BuildConfig(p, st.Workload,
+			cfg, pr, err := BuildConfigExec(ctx, st.Exec, p, st.Workload,
 				ConfigSource{Model: "omp", Strategy: mitigate.Rm, ID: id},
 				st.Reps.Collect, st.Improved, st.Seed)
 			if err != nil {
@@ -255,6 +303,7 @@ func (st InjectionStudy) Run() (*InjectionResult, error) {
 			}
 			cfgs = append(cfgs, cfg)
 			out.Anomaly[p.Name] = append(out.Anomaly[p.Name], pr.Worst.ExecTime.Seconds())
+			prog.finish(fmt.Sprintf("config %s #%d", p.Name, id))
 		}
 		out.Configs[p.Name] = cfgs
 
@@ -266,7 +315,7 @@ func (st InjectionStudy) Run() (*InjectionResult, error) {
 		for id, cfg := range cfgs {
 			for _, model := range Models {
 				for _, smt := range smtModes {
-					row, err := st.injectRow(p, model, smt, id+1, cfg)
+					row, err := st.injectRow(ctx, prog, p, model, smt, id+1, cfg)
 					if err != nil {
 						return nil, err
 					}
@@ -279,7 +328,7 @@ func (st InjectionStudy) Run() (*InjectionResult, error) {
 	return out, nil
 }
 
-func (st InjectionStudy) injectRow(p *platform.Platform, model string, smt bool, cfgID int, cfg *core.Config) (*InjectRow, error) {
+func (st InjectionStudy) injectRow(ctx context.Context, prog *cellTracker, p *platform.Platform, model string, smt bool, cfgID int, cfg *core.Config) (*InjectRow, error) {
 	wl, err := p.WorkloadSpec(st.Workload)
 	if err != nil {
 		return nil, err
@@ -302,7 +351,7 @@ func (st InjectionStudy) injectRow(p *platform.Platform, model string, smt bool,
 			Seed:    seedFor(st.Seed, "ibase", st.Workload, model, strat.Name()),
 			Tracing: true,
 		}
-		baseTimes, _, err := RunSeries(baseSpec, st.Reps.Baseline)
+		baseTimes, _, err := st.Exec.Series(ctx, baseSpec, st.Reps.Baseline)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +359,7 @@ func (st InjectionStudy) injectRow(p *platform.Platform, model string, smt bool,
 		injSpec.Tracing = false
 		injSpec.Inject = cfg
 		injSpec.Seed = seedFor(st.Seed, "inj", st.Workload, model, strat.Name(), fmt.Sprint(cfgID))
-		injTimes, _, err := RunSeries(injSpec, st.Reps.Inject)
+		injTimes, _, err := st.Exec.Series(ctx, injSpec, st.Reps.Inject)
 		if err != nil {
 			return nil, err
 		}
@@ -322,6 +371,7 @@ func (st InjectionStudy) injectRow(p *platform.Platform, model string, smt bool,
 			ChangePct: stats.RelChange(base.Mean, inj.Mean),
 			SD:        inj.SD,
 		})
+		prog.finish(fmt.Sprintf("inject %s %s %s %s", p.Name, st.Workload, label, strat.Name()))
 	}
 	return row, nil
 }
@@ -341,7 +391,15 @@ type OverheadRow struct {
 // TracingOverhead measures baseline executions with tracing off and on
 // (OMP, roaming), reproducing Table 1.
 func TracingOverhead(p *platform.Platform, workloadNames []string, reps int, seed uint64) ([]OverheadRow, error) {
+	return TracingOverheadExec(context.Background(), Executor{}, p, workloadNames, reps, seed)
+}
+
+// TracingOverheadExec is TracingOverhead under an explicit executor and
+// context.
+func TracingOverheadExec(ctx context.Context, e Executor, p *platform.Platform,
+	workloadNames []string, reps int, seed uint64) ([]OverheadRow, error) {
 	var rows []OverheadRow
+	prog := e.cells(2 * len(workloadNames))
 	for _, name := range workloadNames {
 		w, err := p.WorkloadSpec(name)
 		if err != nil {
@@ -351,15 +409,17 @@ func TracingOverhead(p *platform.Platform, workloadNames []string, reps int, see
 			Platform: p, Workload: w, Model: "omp", Strategy: mitigate.Rm,
 			Seed: seedFor(seed, "overhead", name),
 		}
-		off, _, err := RunSeries(spec, reps)
+		off, _, err := e.Series(ctx, spec, reps)
 		if err != nil {
 			return nil, err
 		}
+		prog.finish("overhead " + name + " tracing-off")
 		spec.Tracing = true
-		on, _, err := RunSeries(spec, reps)
+		on, _, err := e.Series(ctx, spec, reps)
 		if err != nil {
 			return nil, err
 		}
+		prog.finish("overhead " + name + " tracing-on")
 		offMean := stats.SummarizeTimes(off).Mean / 1000
 		onMean := stats.SummarizeTimes(on).Mean / 1000
 		rows = append(rows, OverheadRow{
@@ -425,13 +485,22 @@ type AccuracyStudy struct {
 	Reps     RepCounts
 	Seed     uint64
 	Improved bool
+	// Exec is the execution layer; the zero value runs with default
+	// parallelism.
+	Exec Executor
 }
 
 // Run builds each case's config and replays it under the same workload
 // configuration it was captured from.
 func (st AccuracyStudy) Run() ([]AccuracyEntry, error) {
+	return st.RunContext(context.Background())
+}
+
+// RunContext executes the study under ctx.
+func (st AccuracyStudy) RunContext(ctx context.Context) ([]AccuracyEntry, error) {
 	var out []AccuracyEntry
 	plats := map[string]*platform.Platform{}
+	prog := st.Exec.cells(len(st.Cases))
 	for _, c := range st.Cases {
 		p, ok := plats[c.Platform]
 		if !ok {
@@ -442,17 +511,18 @@ func (st AccuracyStudy) Run() ([]AccuracyEntry, error) {
 			}
 			plats[c.Platform] = p
 		}
-		entry, err := st.runCase(p, c)
+		entry, err := st.runCase(ctx, p, c)
 		if err != nil {
 			return nil, fmt.Errorf("accuracy %s/%s/%s: %w", c.Workload, c.Platform, c.Source.Label(), err)
 		}
 		out = append(out, *entry)
+		prog.finish(fmt.Sprintf("accuracy %s %s %s", c.Workload, c.Platform, c.Source.Label()))
 	}
 	return out, nil
 }
 
-func (st AccuracyStudy) runCase(p *platform.Platform, c AccuracyCase) (*AccuracyEntry, error) {
-	cfg, pr, err := BuildConfig(p, c.Workload, c.Source, st.Reps.Collect, st.Improved, st.Seed)
+func (st AccuracyStudy) runCase(ctx context.Context, p *platform.Platform, c AccuracyCase) (*AccuracyEntry, error) {
+	cfg, pr, err := BuildConfigExec(ctx, st.Exec, p, c.Workload, c.Source, st.Reps.Collect, st.Improved, st.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -465,7 +535,7 @@ func (st AccuracyStudy) runCase(p *platform.Platform, c AccuracyCase) (*Accuracy
 		Seed:   seedFor(st.Seed, "acc", c.Workload, c.Source.Label()),
 		Inject: cfg,
 	}
-	times, _, err := RunSeries(spec, st.Reps.Inject)
+	times, _, err := st.Exec.Series(ctx, spec, st.Reps.Inject)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -36,10 +37,18 @@ type IntensitySweep struct {
 	Factors []float64
 	Reps    RepCounts
 	Seed    uint64
+	// Exec is the execution layer; the zero value runs with default
+	// parallelism.
+	Exec Executor
 }
 
 // Run executes the sweep. Points are ordered factor-major, strategy-minor.
 func (sw IntensitySweep) Run() ([]IntensityPoint, error) {
+	return sw.RunContext(context.Background())
+}
+
+// RunContext executes the sweep under ctx.
+func (sw IntensitySweep) RunContext(ctx context.Context) ([]IntensityPoint, error) {
 	if len(sw.Factors) == 0 || len(sw.Strategies) == 0 {
 		return nil, fmt.Errorf("experiment: intensity sweep needs factors and strategies")
 	}
@@ -50,17 +59,19 @@ func (sw IntensitySweep) Run() ([]IntensityPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg, _, err := BuildConfig(sw.Platform, sw.Workload,
+	prog := sw.Exec.cells(1 + len(sw.Strategies) + len(sw.Factors)*len(sw.Strategies))
+	cfg, _, err := BuildConfigExec(ctx, sw.Exec, sw.Platform, sw.Workload,
 		ConfigSource{Model: sw.Model, Strategy: mitigate.Rm, ID: 1},
 		sw.Reps.Collect, true, sw.Seed)
 	if err != nil {
 		return nil, err
 	}
+	prog.finish("sweep config " + sw.Workload)
 
 	// Per-strategy baselines.
 	baselines := map[string]float64{}
 	for _, strat := range sw.Strategies {
-		times, _, err := RunSeries(Spec{
+		times, _, err := sw.Exec.Series(ctx, Spec{
 			Platform: sw.Platform, Workload: w, Model: sw.Model, Strategy: strat,
 			Seed: seedFor(sw.Seed, "sweepbase", strat.Name()), Tracing: true,
 		}, sw.Reps.Baseline)
@@ -68,6 +79,7 @@ func (sw IntensitySweep) Run() ([]IntensityPoint, error) {
 			return nil, err
 		}
 		baselines[strat.Name()] = stats.SummarizeTimes(times).Mean
+		prog.finish("sweep baseline " + strat.Name())
 	}
 
 	var out []IntensityPoint
@@ -77,7 +89,7 @@ func (sw IntensitySweep) Run() ([]IntensityPoint, error) {
 			return nil, err
 		}
 		for _, strat := range sw.Strategies {
-			times, _, err := RunSeries(Spec{
+			times, _, err := sw.Exec.Series(ctx, Spec{
 				Platform: sw.Platform, Workload: w, Model: sw.Model, Strategy: strat,
 				Seed:   seedFor(sw.Seed, "sweepinj", strat.Name(), fmt.Sprint(f)),
 				Inject: amp,
@@ -85,6 +97,7 @@ func (sw IntensitySweep) Run() ([]IntensityPoint, error) {
 			if err != nil {
 				return nil, err
 			}
+			prog.finish(fmt.Sprintf("sweep inject %s x%.2g", strat.Name(), f))
 			mean := stats.SummarizeTimes(times).Mean
 			out = append(out, IntensityPoint{
 				Factor:    f,

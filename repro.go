@@ -20,6 +20,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/advisor"
@@ -76,6 +77,14 @@ type (
 	RepCounts = experiment.RepCounts
 	// Time is simulated time in nanoseconds.
 	Time = sim.Time
+	// Executor is the deterministic parallel execution layer: it fans the
+	// independent (spec, seed) reps of a series over a bounded worker
+	// pool with output bit-identical to sequential execution. The zero
+	// value uses REPRO_PARALLEL or GOMAXPROCS workers; Parallelism: 1
+	// forces sequential. Every study type carries one in its Exec field.
+	Executor = experiment.Executor
+	// ProgressFunc receives study-cell completion updates (Executor.OnCell).
+	ProgressFunc = experiment.ProgressFunc
 )
 
 // Mitigation strategy columns (paper §5 labels).
@@ -105,9 +114,17 @@ func WorkloadNames() []string { return workloads.Names() }
 func RunOnce(spec Spec) (Result, error) { return experiment.RunOnce(spec) }
 
 // RunSeries executes reps runs with derived seeds, returning execution
-// times and (when tracing) traces.
+// times and (when tracing) traces. Reps fan out over the default
+// Executor's worker pool; results are bit-identical to sequential
+// execution. Use an explicit Executor (RunSeriesExec) to bound or disable
+// the parallelism, cancel mid-series, or observe progress.
 func RunSeries(spec Spec, reps int) ([]Time, []*Trace, error) {
 	return experiment.RunSeries(spec, reps)
+}
+
+// RunSeriesExec is RunSeries under an explicit executor and context.
+func RunSeriesExec(ctx context.Context, e Executor, spec Spec, reps int) ([]Time, []*Trace, error) {
+	return e.Series(ctx, spec, reps)
 }
 
 // BuildConfig runs injector stages 1+2: collect traces under the source
@@ -116,6 +133,12 @@ func RunSeries(spec Spec, reps int) ([]Time, []*Trace, error) {
 func BuildConfig(p *Platform, workload string, src ConfigSource,
 	collectRuns int, improved bool, seed uint64) (*Config, *PipelineResult, error) {
 	return experiment.BuildConfig(p, workload, src, collectRuns, improved, seed)
+}
+
+// BuildConfigExec is BuildConfig under an explicit executor and context.
+func BuildConfigExec(ctx context.Context, e Executor, p *Platform, workload string,
+	src ConfigSource, collectRuns int, improved bool, seed uint64) (*Config, *PipelineResult, error) {
+	return experiment.BuildConfigExec(ctx, e, p, workload, src, collectRuns, improved, seed)
 }
 
 // Refine subtracts the average inherent noise from a worst-case trace
@@ -184,6 +207,13 @@ func TracingOverhead(p *Platform, workloadNames []string, reps int, seed uint64)
 	return experiment.TracingOverhead(p, workloadNames, reps, seed)
 }
 
+// TracingOverheadExec is TracingOverhead under an explicit executor and
+// context.
+func TracingOverheadExec(ctx context.Context, e Executor, p *Platform,
+	workloadNames []string, reps int, seed uint64) ([]OverheadRow, error) {
+	return experiment.TracingOverheadExec(ctx, e, p, workloadNames, reps, seed)
+}
+
 // PaperAccuracyCases returns the ten Table-7 trace configurations.
 func PaperAccuracyCases() []AccuracyCase { return experiment.PaperAccuracyCases() }
 
@@ -200,6 +230,16 @@ func Figure1(reps int, seed uint64) ([]FigureSeries, error) { return experiment.
 
 // Figure2 regenerates the Babelstream-dot motivation figure series.
 func Figure2(reps int, seed uint64) ([]FigureSeries, error) { return experiment.Figure2(reps, seed) }
+
+// Figure1Exec is Figure1 under an explicit executor and context.
+func Figure1Exec(ctx context.Context, e Executor, reps int, seed uint64) ([]FigureSeries, error) {
+	return experiment.Figure1Exec(ctx, e, reps, seed)
+}
+
+// Figure2Exec is Figure2 under an explicit executor and context.
+func Figure2Exec(ctx context.Context, e Executor, reps int, seed uint64) ([]FigureSeries, error) {
+	return experiment.Figure2Exec(ctx, e, reps, seed)
+}
 
 // CrossoverFactor finds the sweep factor where strategy b overtakes a.
 func CrossoverFactor(points []IntensityPoint, a, b Strategy) float64 {
