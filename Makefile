@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-tables bench-quick examples clean cover
+.PHONY: all build test vet fmt race bench bench-kernel bench-tables bench-quick examples clean cover
 
 all: build vet test
 
@@ -29,6 +29,16 @@ race:
 # Full benchmark harness: every table, figure, and ablation.
 bench:
 	$(GO) test . -run xxx -bench . -benchmem -timeout 4h
+
+# Kernel evidence: the simulation-kernel benchmarks (end-to-end run plus
+# the sim/cpusched microbenches), recorded as committed JSON so before/after
+# numbers can be diffed. BENCHTIME is overridable for CI smoke runs.
+BENCHTIME ?= 300x
+bench-kernel:
+	{ $(GO) test . -run xxx -bench 'BenchmarkSimulatedRun$$' -benchmem -benchtime $(BENCHTIME) -timeout 1h; \
+	  $(GO) test ./internal/sim/ ./internal/cpusched/ -run xxx -bench . -benchmem -benchtime $(BENCHTIME) -timeout 1h; } \
+	| $(GO) run ./cmd/benchjson -note "seed baseline (same host, -benchtime 300x): BenchmarkSimulatedRun 1310180 ns/op, 771925 B/op, 10039 allocs/op" > BENCH_kernel.json
+	@cat BENCH_kernel.json
 
 # Only the paper's tables/figures (skips ablations and micro-benches).
 bench-tables:

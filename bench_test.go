@@ -488,15 +488,25 @@ func BenchmarkSimulatedRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var last Result
 	for i := 0; i < b.N; i++ {
-		if _, err := RunOnce(Spec{
+		res, err := RunOnce(Spec{
 			Platform: p, Workload: w, Model: "omp", Strategy: Rm,
 			Seed: uint64(i), Tracing: true,
-		}); err != nil {
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = res
 	}
+	// Kernel counters of one run: how task requests were served (inline
+	// program fast path vs goroutine coroutine handshake) and how many
+	// dispatches the run performed.
+	b.ReportMetric(float64(last.ContextSwitches), "ctxsw/run")
+	b.ReportMetric(float64(last.GoroutineHandoffs), "handoffs/run")
+	b.ReportMetric(float64(last.InlineDispatches), "inline/run")
 }
 
 // BenchmarkPipeline measures stages 1+2 end to end on a tiny machine.

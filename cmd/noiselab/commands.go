@@ -102,6 +102,10 @@ func cmdRun(args []string) error {
 		return err
 	}
 	fmt.Printf("exec time: %.6f s\n", res.ExecTime.Seconds())
+	if gVerbose {
+		fmt.Printf("kernel: ctxswitches=%d inline-dispatches=%d goroutine-handoffs=%d\n",
+			res.ContextSwitches, res.InlineDispatches, res.GoroutineHandoffs)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

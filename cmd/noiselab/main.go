@@ -32,26 +32,66 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
-// Global flags (before the subcommand): worker-pool size and progress.
+// Global flags (before the subcommand): worker-pool size, progress, and
+// profiling outputs.
 var (
-	gParallel int
-	gVerbose  bool
+	gParallel   int
+	gVerbose    bool
+	gCPUProfile string
+	gMemProfile string
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main body so profile-writing defers fire before the
+// process exits.
+func run() int {
 	global := flag.NewFlagSet("noiselab", flag.ExitOnError)
 	global.Usage = usage
 	global.IntVar(&gParallel, "parallel", 0,
 		"worker-pool size for repetitions (0 = REPRO_PARALLEL or GOMAXPROCS; 1 = sequential)")
 	global.BoolVar(&gVerbose, "v", false, "report study progress (cell k/N) to stderr")
+	global.StringVar(&gCPUProfile, "cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	global.StringVar(&gMemProfile, "memprofile", "", "write a heap profile (after GC) to this file on exit")
 	if err := global.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if global.NArg() < 1 {
 		usage()
-		os.Exit(2)
+		return 2
+	}
+	if gCPUProfile != "" {
+		f, err := os.Create(gCPUProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noiselab: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "noiselab: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if gMemProfile != "" {
+		defer func() {
+			f, err := os.Create(gMemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "noiselab: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "noiselab: -memprofile: %v\n", err)
+			}
+		}()
 	}
 	cmd, args := global.Arg(0), global.Args()[1:]
 	var err error
@@ -111,12 +151,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "noiselab: unknown subcommand %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "noiselab %s: %v\n", cmd, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
@@ -139,7 +180,11 @@ Global flags (before the subcommand):
   -parallel N   worker-pool size for repetitions; every study fans its reps
                 over the pool with bit-identical results (0 = REPRO_PARALLEL
                 env or GOMAXPROCS, 1 = sequential)
-  -v            report study progress (cell k/N) to stderr
+  -v            report study progress (cell k/N) to stderr; 'run' also
+                prints the scheduler kernel counters (context switches,
+                inline dispatches, goroutine handoffs)
+  -cpuprofile F write a CPU profile of the whole invocation to F
+  -memprofile F write a heap profile (after GC) to F on exit
 
 Run 'noiselab <subcommand> -h' for subcommand flags.
 `)

@@ -121,13 +121,12 @@ func (r *IORunner) scheduleStorm(cpu int, at, end sim.Time) {
 			})
 		}
 		if r.spec.FlushDur > 0 {
-			flush := r.spec.FlushDur
 			cycles := r.s.Topology().CyclesPerNs()
-			r.s.Spawn(cpusched.TaskSpec{
+			r.s.SpawnSeq(cpusched.TaskSpec{
 				Name:   "flush",
 				Source: fmt.Sprintf("kworker/u%d:flush", cpu),
 				Kind:   cpusched.KindInjector,
-			}, func(c *cpusched.Ctx) { c.Compute(float64(flush) * cycles) })
+			}, cpusched.ReqCompute(float64(r.spec.FlushDur)*cycles))
 		}
 		r.scheduleStorm(cpu, at+r.spec.StormPeriod, end)
 	})

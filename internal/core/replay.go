@@ -55,31 +55,53 @@ func (r *Replayer) Start() {
 		if r.PinInjectors && ce.CPU < r.s.Topology().NumCPUs() {
 			spec.Affinity = machine.SetOf(ce.CPU)
 		}
-		t := r.s.Spawn(spec, func(ctx *cpusched.Ctx) {
-			r.injectLoop(ctx, events, base)
+		t := r.s.SpawnProgram(spec, &injectProgram{
+			events: events,
+			base:   base,
+			cycles: r.s.Topology().CyclesPerNs(),
 		})
 		r.tasks = append(r.tasks, t)
 	}
 }
 
-// injectLoop is Listing 1's per-process routine.
-func (r *Replayer) injectLoop(ctx *cpusched.Ctx, events []NoiseEvent, base sim.Time) {
-	cycles := r.s.Topology().CyclesPerNs()
-	for _, ev := range events {
+// injectProgram is Listing 1's per-process routine as an inline scheduler
+// Program: per event, switch policy, sleep until the event's start, then
+// occupy a CPU (or the memory system) for the event's duration. Running
+// inline spares one goroutine plus two channel operations per request for
+// every injector — with one injector per configured CPU they dominate task
+// churn in stage three.
+type injectProgram struct {
+	events []NoiseEvent
+	base   sim.Time
+	cycles float64
+	i      int // current event
+	step   int // 0 = set policy, 1 = sleep, 2 = inject
+}
+
+func (p *injectProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
+	if p.i >= len(p.events) {
+		return cpusched.Request{}, false
+	}
+	ev := &p.events[p.i]
+	switch p.step {
+	case 0:
+		p.step = 1
 		if ev.Policy == "SCHED_FIFO" {
-			ctx.SetPolicyNice(cpusched.PolicyFIFO, ev.RTPrio, 0)
-		} else {
-			ctx.SetPolicyNice(cpusched.PolicyOther, 0, ev.Nice)
+			return cpusched.ReqSetPolicy(cpusched.PolicyFIFO, ev.RTPrio, 0), true
 		}
-		ctx.SleepUntil(base + ev.Start)
+		return cpusched.ReqSetPolicy(cpusched.PolicyOther, 0, ev.Nice), true
+	case 1:
+		p.step = 2
+		return cpusched.ReqSleepUntil(p.base + ev.Start), true
+	default:
+		p.i++
+		p.step = 0
 		if ev.MemBytes > 0 {
 			// Memory-interference extension: contend for machine
 			// bandwidth instead of pure CPU occupation.
-			ctx.Memory(ev.MemBytes)
-		} else {
-			// Inject: occupy a CPU for the event's duration of CPU time.
-			ctx.Compute(float64(ev.Duration) * cycles)
+			return cpusched.ReqMemory(ev.MemBytes), true
 		}
+		return cpusched.ReqCompute(float64(ev.Duration) * p.cycles), true
 	}
 }
 

@@ -17,29 +17,34 @@ func (s *Scheduler) balanceTick() {
 			continue
 		}
 		// Find the CPU with the most waiting fair tasks that has one
-		// allowed to run on the idle CPU.
+		// allowed to run on the idle CPU. The victim is the allowed task
+		// that has waited longest (lowest arrival sequence) — the task the
+		// old insertion-ordered queue yielded as its first allowed entry.
 		var donor *cpuState
 		var victim *Task
 		for _, busy := range s.cpus {
-			if busy == idle || len(busy.fair) == 0 {
+			if busy == idle || busy.fair.len() == 0 {
 				continue
 			}
-			if donor != nil && len(busy.fair) <= len(donor.fair) {
+			if donor != nil && busy.fair.len() <= donor.fair.len() {
 				continue
 			}
-			for _, t := range busy.fair {
-				if t.affinity.Has(idle.id) {
-					donor = busy
-					victim = t
-					break
+			var cand *Task
+			for _, t := range busy.fair.tasks() {
+				if t.affinity.Has(idle.id) && (cand == nil || t.arrivalSeq < cand.arrivalSeq) {
+					cand = t
 				}
+			}
+			if cand != nil {
+				donor = busy
+				victim = cand
 			}
 		}
 		if victim == nil {
 			continue
 		}
-		donor.fair = removeTask(donor.fair, victim)
+		donor.fair.remove(victim)
 		s.enqueue(idle, victim)
 	}
-	s.balanceTimer = s.eng.After(s.opt.BalanceInterval, s.balanceTick)
+	s.balanceTimer = s.eng.After(s.opt.BalanceInterval, s.balanceFn)
 }

@@ -35,6 +35,36 @@ func (b *Barrier) drop(t *Task) {
 	}
 }
 
+// barrierScratch holds the waiter-classification buffers for one barrier
+// release. Scratches are pooled on the scheduler as a free stack because
+// releases nest: a resumed spinner can arrive at — and release — another
+// barrier from within processRequests below.
+type barrierScratch struct {
+	spinners []*Task
+	blocked  []*Task
+}
+
+func (s *Scheduler) getBarScratch() *barrierScratch {
+	if n := len(s.barScratch); n > 0 {
+		sc := s.barScratch[n-1]
+		s.barScratch = s.barScratch[:n-1]
+		return sc
+	}
+	return &barrierScratch{}
+}
+
+func (s *Scheduler) putBarScratch(sc *barrierScratch) {
+	for i := range sc.spinners {
+		sc.spinners[i] = nil
+	}
+	for i := range sc.blocked {
+		sc.blocked[i] = nil
+	}
+	sc.spinners = sc.spinners[:0]
+	sc.blocked = sc.blocked[:0]
+	s.barScratch = append(s.barScratch, sc)
+}
+
 // barrierArrive processes task t arriving at b. It reports true when the
 // barrier released immediately (t was the last arriver), in which case t's
 // body continues without waiting.
@@ -52,33 +82,37 @@ func (s *Scheduler) barrierArrive(t *Task, b *Barrier, spin bool) bool {
 	// different barrier, and must not then be mistaken for a blocked
 	// waiter of this one.
 	waiters := b.waiters
-	b.waiters = nil
+	// Reuse the waiter backing array for the next generation. Safe even
+	// when a resumed waiter re-arrives at b below: by then the
+	// classification loop has finished reading waiters.
+	b.waiters = waiters[:0]
 	b.gen++
-	var spinners, blocked []*Task
+	sc := s.getBarScratch()
 	for _, w := range waiters {
 		w.bar = nil
 		switch {
 		case w.state == StateRunning && w.seg.kind == segSpin:
-			spinners = append(spinners, w)
+			sc.spinners = append(sc.spinners, w)
 		case w.state == StateRunnable && w.seg.kind == segSpin:
 			// Preempted while spinning: clear the spin; it fetches its
 			// next request when dispatched again.
 			w.seg = segment{kind: segNone}
 			w.remaining = 0
 		case w.state == StateBlocked:
-			blocked = append(blocked, w)
+			sc.blocked = append(sc.blocked, w)
 		}
 	}
 	// Spinners proceed in place: they hold CPUs right now.
-	for _, w := range spinners {
+	for _, w := range sc.spinners {
 		s.account(w)
 		s.cancelTimers(w)
 		w.seg = segment{kind: segNone}
 		w.remaining = 0
 		s.processRequests(w)
 	}
-	for _, w := range blocked {
+	for _, w := range sc.blocked {
 		s.wake(w)
 	}
+	s.putBarScratch(sc)
 	return true
 }

@@ -33,15 +33,20 @@ func (s *Scheduler) startIRQ(c *cpuState, class NoiseClass, source string, dur s
 	}
 	c.inIRQ = true
 	c.irqStart = s.eng.Now()
+	c.irqClass = class
+	c.irqSource = source
 	if c.curr != nil {
 		s.refresh(c.curr) // rate drops to 0 while the interrupt runs
 	}
 	s.occupancyChanged(c) // the sibling sees this hardware thread as busy
-	s.eng.After(dur, func() { s.endIRQ(c, class, source) })
+	// irqEndFn is bound once per CPU; the in-flight interrupt's identity
+	// lives in the cpuState, so interrupt delivery allocates nothing.
+	s.eng.After(dur, c.irqEndFn)
 }
 
-func (s *Scheduler) endIRQ(c *cpuState, class NoiseClass, source string) {
+func (s *Scheduler) endIRQ(c *cpuState) {
 	start := c.irqStart
+	class, source := c.irqClass, c.irqSource
 	c.inIRQ = false
 	s.irqTime[c.id] += s.eng.Now() - start
 	if s.tracer != nil {

@@ -61,20 +61,29 @@ type pendingIRQ struct {
 type cpuState struct {
 	id   int
 	curr *Task
-	fifo []*Task // runnable FIFO tasks
-	fair []*Task // runnable fair tasks
+	fifo taskQueue // runnable FIFO tasks, keyed (rtprio desc, enqueueSeq)
+	fair taskQueue // runnable fair tasks, keyed (vruntime, enqueueSeq)
 
 	minVruntime float64
 
 	inIRQ    bool
 	irqStart sim.Time
-	irqQ     []pendingIRQ
+	// irqClass/irqSource identify the in-flight interrupt; irqEndFn is its
+	// completion callback, bound once at construction so interrupt delivery
+	// does not allocate a closure per event.
+	irqClass  NoiseClass
+	irqSource string
+	irqEndFn  func()
+	irqQ      []pendingIRQ
 
 	// pendingSteal is accumulated tracing overhead not yet charged to a
 	// running task on this CPU.
 	pendingSteal sim.Time
 
 	sliceTimer *sim.Timer
+	// sliceFn is the slice-expiry callback, bound once at construction so
+	// re-arming the timeslice does not allocate a closure per dispatch.
+	sliceFn func()
 
 	// RT throttling state.
 	rtWindowStart sim.Time
@@ -83,7 +92,7 @@ type cpuState struct {
 	throttleTimer *sim.Timer
 }
 
-func (c *cpuState) queued() int { return len(c.fifo) + len(c.fair) }
+func (c *cpuState) queued() int { return c.fifo.len() + c.fair.len() }
 
 func (c *cpuState) idle() bool { return c.curr == nil && c.queued() == 0 }
 
@@ -100,9 +109,19 @@ type Scheduler struct {
 	memStreams int
 	nextID     int
 	seq        uint64
+	arrival    uint64
 	liveTasks  int
 
 	balanceTimer *sim.Timer
+	// balanceFn is the balancer callback, bound once so re-arming the
+	// periodic timer does not allocate a method-value closure per tick.
+	balanceFn func()
+
+	// barScratch pools the waiter-classification buffers of barrierArrive.
+	// It is a free stack, not a single buffer, because barrier releases
+	// nest (a released spinner may immediately arrive at, and release,
+	// another barrier from within processRequests).
+	barScratch []*barrierScratch
 
 	// kindTime accumulates CPU time per logical CPU per task kind, for
 	// attribution analyses (e.g. how much injected noise a housekeeping
@@ -113,6 +132,12 @@ type Scheduler struct {
 
 	// ContextSwitches counts dispatches, for diagnostics.
 	ContextSwitches uint64
+	// GoroutineHandoffs counts requests fetched over the coroutine channel
+	// handshake (two unbuffered channel operations each); InlineDispatches
+	// counts requests served by inline Programs on the engine thread. Their
+	// ratio makes the fast-path speedup mechanism observable (noiselab -v).
+	GoroutineHandoffs uint64
+	InlineDispatches  uint64
 }
 
 // New creates a scheduler for the given machine.
@@ -121,10 +146,16 @@ func New(eng *sim.Engine, topo *machine.Topology, opt Options) *Scheduler {
 		panic(err)
 	}
 	s := &Scheduler{eng: eng, topo: topo, opt: opt}
+	s.balanceFn = s.balanceTick
 	n := topo.NumCPUs()
 	s.cpus = make([]*cpuState, n)
 	for i := range s.cpus {
-		s.cpus[i] = &cpuState{id: i}
+		c := &cpuState{id: i}
+		c.fifo.less = fifoLess
+		c.fair.less = fairLess
+		c.sliceFn = func() { s.sliceExpire(c) }
+		c.irqEndFn = func() { s.endIRQ(c) }
+		s.cpus[i] = c
 	}
 	s.kindTime = make([][4]sim.Time, n)
 	s.irqTime = make([]sim.Time, n)
@@ -174,11 +205,51 @@ func (s *Scheduler) SetTracer(h Hook) { s.tracer = h }
 // Tasks returns all spawned tasks.
 func (s *Scheduler) Tasks() []*Task { return s.tasks }
 
-// Spawn creates a task and makes it runnable immediately.
+// Spawn creates a task with an imperative body (run on its own goroutine
+// under the coroutine protocol) and makes it runnable immediately. Bodies
+// that are expressible as straight-line request sequences should use
+// SpawnProgram/SpawnSeq instead: the inline path spawns no goroutine and
+// performs no channel handoffs.
 func (s *Scheduler) Spawn(spec TaskSpec, body func(*Ctx)) *Task {
 	if body == nil {
 		panic("cpusched: Spawn with nil body")
 	}
+	t := s.newTask(spec)
+	t.body = body
+	t.reqCh = make(chan request)
+	t.resumeCh = make(chan struct{})
+	t.killCh = make(chan struct{})
+	s.start(t)
+	return t
+}
+
+// SpawnProgram creates a task whose body is an inline Program: the
+// scheduler pulls requests from prog.Next directly on the engine thread —
+// no backing goroutine, no channel handshake. Both execution paths are
+// scheduled identically; a Program yielding the same request sequence as an
+// imperative body produces a bit-identical simulation.
+func (s *Scheduler) SpawnProgram(spec TaskSpec, prog Program) *Task {
+	if prog == nil {
+		panic("cpusched: SpawnProgram with nil program")
+	}
+	t := s.newTask(spec)
+	t.prog = prog
+	s.start(t)
+	return t
+}
+
+// SpawnSeq creates an inline-program task that issues a fixed request
+// sequence and exits — the common shape of noise threads and injector
+// processes.
+func (s *Scheduler) SpawnSeq(spec TaskSpec, reqs ...Request) *Task {
+	if len(reqs) == 1 {
+		return s.SpawnProgram(spec, &oneReqProgram{req: reqs[0]})
+	}
+	return s.SpawnProgram(spec, &seqProgram{reqs: reqs})
+}
+
+// newTask builds the task record shared by both execution paths.
+func (s *Scheduler) newTask(spec TaskSpec) *Task {
 	aff := spec.Affinity.And(machine.AllCPUs(s.topo.NumCPUs()))
 	if aff.Empty() {
 		aff = machine.AllCPUs(s.topo.NumCPUs())
@@ -200,20 +271,26 @@ func (s *Scheduler) Spawn(spec TaskSpec, body func(*Ctx)) *Task {
 		state:      StateNew,
 		cpu:        -1,
 		lastRunCPU: -1,
+		qIndex:     -1,
 		sched:      s,
-		body:       body,
-		reqCh:      make(chan request),
-		resumeCh:   make(chan struct{}),
-		killCh:     make(chan struct{}),
 		seg:        segment{kind: segNone},
 	}
+	t.segDoneFn = func() { s.onSegmentDone(t) }
+	t.wakeFn = func() {
+		t.wakeTimer = nil
+		s.wake(t)
+	}
+	return t
+}
+
+// start registers a freshly built task and makes it runnable.
+func (s *Scheduler) start(t *Task) {
 	s.tasks = append(s.tasks, t)
 	s.liveTasks++
 	if s.opt.BalanceInterval > 0 && s.balanceTimer == nil {
-		s.balanceTimer = s.eng.After(s.opt.BalanceInterval, s.balanceTick)
+		s.balanceTimer = s.eng.After(s.opt.BalanceInterval, s.balanceFn)
 	}
 	s.wake(t)
-	return t
 }
 
 // Kill forcefully terminates a task. Its body goroutine unwinds and exits.
@@ -233,7 +310,7 @@ func (s *Scheduler) Kill(t *Task) {
 		s.cancelTimers(t)
 		t.state = StateDone
 	}
-	if t.started {
+	if t.started && t.prog == nil {
 		close(t.killCh)
 	}
 	s.finishCallbacks(t)
@@ -259,10 +336,36 @@ func (s *Scheduler) finishCallbacks(t *Task) {
 	}
 }
 
-// ---- coroutine handshake ----
+// ---- request fetch: inline fast path and coroutine handshake ----
 
-// fetchNext resumes the task body until it issues its next request.
+// fetchNext obtains the task's next request. Program tasks are served
+// inline on the engine thread; imperative bodies are resumed over the
+// coroutine channel handshake. Both paths apply identical semantics:
+// non-positive compute/memory demands are skipped (Ctx.Compute/Memory
+// never send them), and relative sleeps resolve against the clock at
+// fetch time (imperative bodies compute Now()+d at the same instant).
 func (s *Scheduler) fetchNext(t *Task) request {
+	if t.prog != nil {
+		for {
+			r, ok := t.prog.Next(t)
+			if !ok {
+				return request{kind: reqDone}
+			}
+			req := r.req
+			switch req.kind {
+			case reqCompute, reqMemory:
+				if req.demand <= 0 {
+					continue
+				}
+			case reqSleepFor:
+				req.kind = reqSleepUntil
+				req.until += s.eng.Now()
+			}
+			s.InlineDispatches++
+			return req
+		}
+	}
+	s.GoroutineHandoffs++
 	if !t.started {
 		t.started = true
 		go t.run()
@@ -347,8 +450,7 @@ func (s *Scheduler) refresh(t *Task) {
 	if t.remaining > 0 {
 		d = sim.Time(math.Ceil(t.remaining / t.rate))
 	}
-	tt := t
-	t.completion = s.eng.After(d, func() { s.onSegmentDone(tt) })
+	t.completion = s.eng.After(d, t.segDoneFn)
 }
 
 func (s *Scheduler) cancelTimers(t *Task) {
@@ -390,17 +492,9 @@ func (s *Scheduler) removeQueued(t *Task) {
 		return
 	}
 	c := s.cpus[t.cpu]
-	c.fifo = removeTask(c.fifo, t)
-	c.fair = removeTask(c.fair, t)
-}
-
-func removeTask(q []*Task, t *Task) []*Task {
-	for i, x := range q {
-		if x == t {
-			return append(q[:i], q[i+1:]...)
-		}
+	if !c.fifo.remove(t) {
+		c.fair.remove(t)
 	}
-	return q
 }
 
 // selectCPU implements wake-up placement: previous CPU if idle, then a
@@ -412,7 +506,7 @@ func (s *Scheduler) selectCPU(t *Task) *cpuState {
 	}
 	var fullIdle, anyIdle, least *cpuState
 	leastLoad := math.MaxInt32
-	for _, cpu := range allowed.List() {
+	for cpu := allowed.First(); cpu >= 0; cpu = allowed.NextFrom(cpu + 1) {
 		c := s.cpus[cpu]
 		if c.idle() {
 			if anyIdle == nil {
@@ -462,13 +556,15 @@ func (s *Scheduler) enqueue(c *cpuState, t *Task) {
 	t.cpu = c.id
 	s.seq++
 	t.enqueueSeq = s.seq
+	s.arrival++
+	t.arrivalSeq = s.arrival
 	if t.policy == PolicyFIFO {
-		c.fifo = append(c.fifo, t)
+		c.fifo.push(t)
 	} else {
 		if t.vruntime < c.minVruntime {
 			t.vruntime = c.minVruntime
 		}
-		c.fair = append(c.fair, t)
+		c.fair.push(t)
 	}
 	if c.curr == nil {
 		s.resched(c)
@@ -482,7 +578,7 @@ func (s *Scheduler) enqueue(c *cpuState, t *Task) {
 		s.resched(c)
 		return
 	}
-	if c.curr.policy == PolicyOther && len(c.fair) > 0 {
+	if c.curr.policy == PolicyOther && c.fair.len() > 0 {
 		s.armSlice(c)
 	}
 }
@@ -491,10 +587,12 @@ func (s *Scheduler) enqueue(c *cpuState, t *Task) {
 // ordering by its original enqueue sequence.
 func (s *Scheduler) requeue(c *cpuState, t *Task) {
 	t.state = StateRunnable
+	s.arrival++
+	t.arrivalSeq = s.arrival
 	if t.policy == PolicyFIFO {
-		c.fifo = append(c.fifo, t)
+		c.fifo.push(t)
 	} else {
-		c.fair = append(c.fair, t)
+		c.fair.push(t)
 	}
 }
 
@@ -516,33 +614,14 @@ func (s *Scheduler) shouldPreempt(c *cpuState, newT, curr *Task) bool {
 	return newT.vruntime+gran < curr.vruntime
 }
 
-// pickNext removes and returns the best runnable task for c, or nil.
+// pickNext removes and returns the best runnable task for c, or nil. The
+// heap keys reproduce the exact selection of the previous linear scans:
+// FIFO by (rtprio desc, enqueueSeq), fair by (vruntime, enqueueSeq).
 func (s *Scheduler) pickNext(c *cpuState) *Task {
-	if len(c.fifo) > 0 && !c.rtThrottled {
-		best := 0
-		for i := 1; i < len(c.fifo); i++ {
-			t, b := c.fifo[i], c.fifo[best]
-			if t.rtprio > b.rtprio || (t.rtprio == b.rtprio && t.enqueueSeq < b.enqueueSeq) {
-				best = i
-			}
-		}
-		t := c.fifo[best]
-		c.fifo = append(c.fifo[:best], c.fifo[best+1:]...)
-		return t
+	if c.fifo.len() > 0 && !c.rtThrottled {
+		return c.fifo.pop()
 	}
-	if len(c.fair) > 0 {
-		best := 0
-		for i := 1; i < len(c.fair); i++ {
-			t, b := c.fair[i], c.fair[best]
-			if t.vruntime < b.vruntime || (t.vruntime == b.vruntime && t.enqueueSeq < b.enqueueSeq) {
-				best = i
-			}
-		}
-		t := c.fair[best]
-		c.fair = append(c.fair[:best], c.fair[best+1:]...)
-		return t
-	}
-	return nil
+	return c.fair.pop()
 }
 
 // resched dispatches the next task on an idle CPU.
@@ -639,14 +718,15 @@ func (s *Scheduler) occupancyChanged(c *cpuState) {
 func (s *Scheduler) processRequests(t *Task) {
 	for {
 		var req request
-		if t.pendingReq != nil {
-			req = *t.pendingReq
-			t.pendingReq = nil
+		if t.hasPending {
+			req = t.pendingReq
+			t.hasPending = false
 		} else {
 			req = s.fetchNext(t)
 		}
 		if t.state != StateRunning || s.cpus[t.cpu].curr != t {
-			t.pendingReq = &req
+			t.pendingReq = req
+			t.hasPending = true
 			return
 		}
 		c := s.cpus[t.cpu]
@@ -673,11 +753,7 @@ func (s *Scheduler) processRequests(t *Task) {
 			}
 			t.seg = segment{kind: segNone}
 			s.undispatch(t, StateSleeping)
-			tt := t
-			t.wakeTimer = s.eng.At(req.until, func() {
-				tt.wakeTimer = nil
-				s.wake(tt)
-			})
+			t.wakeTimer = s.eng.At(req.until, t.wakeFn)
 			s.resched(c)
 			return
 		case reqBarrier:
@@ -708,9 +784,11 @@ func (s *Scheduler) processRequests(t *Task) {
 			t.seg = segment{kind: segNone}
 			s.undispatch(t, StateRunnable)
 			// Push behind queued peers.
-			if t.policy == PolicyOther && len(c.fair) > 0 {
+			if t.policy == PolicyOther && c.fair.len() > 0 {
+				// Max scan over the heap array: order-independent, so heap
+				// layout cannot influence the result.
 				maxV := t.vruntime
-				for _, o := range c.fair {
+				for _, o := range c.fair.tasks() {
 					if o.vruntime > maxV {
 						maxV = o.vruntime
 					}
@@ -739,7 +817,7 @@ func (s *Scheduler) applyPolicy(t *Task, p Policy, rtprio int) {
 	t.policy = p
 	t.rtprio = rtprio
 	c := s.cpus[t.cpu]
-	if p == PolicyOther && len(c.fifo) > 0 && !c.rtThrottled {
+	if p == PolicyOther && c.fifo.len() > 0 && !c.rtThrottled {
 		t.Preempted++
 		s.undispatch(t, StateRunnable)
 		s.requeue(c, t)
@@ -770,20 +848,19 @@ func (s *Scheduler) onSegmentDone(t *Task) {
 // ---- fair timeslice ----
 
 func (s *Scheduler) armSlice(c *cpuState) {
-	if c.curr == nil || c.curr.policy != PolicyOther || len(c.fair) == 0 {
+	if c.curr == nil || c.curr.policy != PolicyOther || c.fair.len() == 0 {
 		return
 	}
 	if c.sliceTimer != nil && c.sliceTimer.Pending() {
 		return
 	}
-	cc := c
-	c.sliceTimer = s.eng.After(s.opt.Slice, func() { s.sliceExpire(cc) })
+	c.sliceTimer = s.eng.After(s.opt.Slice, c.sliceFn)
 }
 
 func (s *Scheduler) sliceExpire(c *cpuState) {
 	c.sliceTimer = nil
 	t := c.curr
-	if t == nil || t.policy != PolicyOther || len(c.fair) == 0 {
+	if t == nil || t.policy != PolicyOther || c.fair.len() == 0 {
 		return
 	}
 	t.Preempted++

@@ -40,6 +40,7 @@ const (
 	reqCompute reqKind = iota
 	reqMemory
 	reqSleepUntil
+	reqSleepFor // relative sleep, resolved to reqSleepUntil at fetch time
 	reqBarrier
 	reqSetPolicy
 	reqYield
@@ -49,12 +50,107 @@ const (
 type request struct {
 	kind   reqKind
 	demand float64  // cycles or bytes
-	until  sim.Time // reqSleepUntil
+	until  sim.Time // reqSleepUntil; duration for reqSleepFor
 	bar    *Barrier // reqBarrier
 	spin   bool     // reqBarrier: spin instead of blocking
 	policy Policy   // reqSetPolicy
 	rtprio int      // reqSetPolicy
 	nice   int      // reqSetPolicy
+}
+
+// Request is one scheduling request yielded by a Program — the declarative
+// counterpart of one Ctx method call. Construct values with the Req*
+// helpers; the zero value is invalid.
+type Request struct {
+	req request
+}
+
+// ReqCompute is the Program counterpart of Ctx.Compute. Non-positive cycle
+// counts are skipped by the scheduler, exactly as Ctx.Compute skips them.
+func ReqCompute(cycles float64) Request {
+	return Request{request{kind: reqCompute, demand: cycles}}
+}
+
+// ReqMemory is the Program counterpart of Ctx.Memory; non-positive volumes
+// are skipped.
+func ReqMemory(bytes float64) Request {
+	return Request{request{kind: reqMemory, demand: bytes}}
+}
+
+// ReqSleepUntil is the Program counterpart of Ctx.SleepUntil.
+func ReqSleepUntil(at sim.Time) Request {
+	return Request{request{kind: reqSleepUntil, until: at}}
+}
+
+// ReqSleep is the Program counterpart of Ctx.Sleep: it sleeps for d
+// nanoseconds from the simulated instant the request is fetched (matching
+// when an imperative body would have computed Now()+d).
+func ReqSleep(d sim.Time) Request {
+	return Request{request{kind: reqSleepFor, until: d}}
+}
+
+// ReqBarrier is the Program counterpart of Ctx.Barrier.
+func ReqBarrier(b *Barrier, spin bool) Request {
+	return Request{request{kind: reqBarrier, bar: b, spin: spin}}
+}
+
+// ReqSetPolicy is the Program counterpart of Ctx.SetPolicyNice.
+func ReqSetPolicy(p Policy, rtprio, nice int) Request {
+	return Request{request{kind: reqSetPolicy, policy: p, rtprio: rtprio, nice: nice}}
+}
+
+// ReqYield is the Program counterpart of Ctx.Yield.
+func ReqYield() Request {
+	return Request{request{kind: reqYield}}
+}
+
+// Program is the inline task-execution path: a resumable body that yields
+// one Request at a time. The scheduler calls Next directly on the engine
+// thread whenever the task must produce its next request — no backing
+// goroutine, no channel handshake — which makes spawning and dispatching
+// straight-line bodies (noise threads, injector processes, worker loops)
+// dramatically cheaper than the imperative Ctx path. Next returning
+// ok=false ends the task, like an imperative body returning.
+//
+// A Program must yield the byte-identical request sequence its imperative
+// equivalent would issue through Ctx; the scheduler treats both paths
+// identically (zero-demand compute/memory requests are skipped on both).
+// Next runs on the engine thread: it may read simulation state reachable
+// from t but must not call Engine or Scheduler methods.
+type Program interface {
+	Next(t *Task) (Request, bool)
+}
+
+// seqProgram replays a fixed request list — sufficient for most noise
+// tasks.
+type seqProgram struct {
+	reqs []Request
+	pc   int
+}
+
+func (p *seqProgram) Next(*Task) (Request, bool) {
+	if p.pc >= len(p.reqs) {
+		return Request{}, false
+	}
+	r := p.reqs[p.pc]
+	p.pc++
+	return r, true
+}
+
+// oneReqProgram issues a single request and exits — the dominant noise
+// shape (one compute burst). Keeping it slice-free lets SpawnSeq's
+// single-request case spawn with one allocation.
+type oneReqProgram struct {
+	req  Request
+	done bool
+}
+
+func (p *oneReqProgram) Next(*Task) (Request, bool) {
+	if p.done {
+		return Request{}, false
+	}
+	p.done = true
+	return p.req, true
 }
 
 type segment struct {
@@ -100,8 +196,11 @@ type Task struct {
 	// lastRunCPU is the CPU the task last executed on, for migration cost.
 	lastRunCPU int
 
-	sched    *Scheduler
+	sched *Scheduler
+	// Exactly one of body (imperative goroutine path) and prog (inline
+	// program path) is set. The channels exist only on the goroutine path.
 	body     func(*Ctx)
+	prog     Program
 	reqCh    chan request
 	resumeCh chan struct{}
 	killCh   chan struct{}
@@ -116,14 +215,28 @@ type Task struct {
 
 	vruntime   float64
 	enqueueSeq uint64
+	// qIndex is the task's position in its CPU's run-queue heap, -1 when
+	// not queued. arrivalSeq is bumped on every queue append (enqueue and
+	// requeue); the balancer uses it to recover the old slice insertion
+	// order when picking a migration victim.
+	qIndex     int
+	arrivalSeq uint64
 
 	completion *sim.Timer
 	wakeTimer  *sim.Timer
-	bar        *Barrier
+	// segDoneFn and wakeFn are the completion/wake timer callbacks, bound
+	// once at spawn so re-arming a timer does not allocate a new closure
+	// per segment or sleep.
+	segDoneFn func()
+	wakeFn    func()
+	bar       *Barrier
 	// pendingReq holds a fetched-but-unprocessed request when the task
 	// lost its CPU mid-processing (e.g. preempted by a task woken from a
 	// barrier it just released); it is consumed at the next dispatch.
-	pendingReq *request
+	// Stored by value (hasPending marks occupancy) so stashing does not
+	// allocate.
+	pendingReq request
+	hasPending bool
 
 	onDone []func()
 

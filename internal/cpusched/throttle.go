@@ -61,7 +61,7 @@ func (s *Scheduler) throttleNow(c *cpuState) {
 		c.rtThrottled = false
 		c.rtWindowStart = s.eng.Now()
 		c.rtUsed = 0
-		if c.curr != nil && c.curr.policy == PolicyOther && len(c.fifo) > 0 {
+		if c.curr != nil && c.curr.policy == PolicyOther && c.fifo.len() > 0 {
 			t := c.curr
 			t.Preempted++
 			s.undispatch(t, StateRunnable)

@@ -71,6 +71,14 @@ type Result struct {
 	// cores absorbed. Zero unless Spec.Inject was set.
 	InjectorCPUTime    sim.Time
 	InjectorOnWorkload sim.Time
+	// Scheduler kernel counters: ContextSwitches is dispatches;
+	// GoroutineHandoffs is requests fetched over the coroutine channel
+	// handshake, InlineDispatches requests served by inline task programs
+	// on the engine thread. Their ratio shows how much task traffic took
+	// the fast path (noiselab -v prints them).
+	ContextSwitches   uint64
+	GoroutineHandoffs uint64
+	InlineDispatches  uint64
 }
 
 // AbsorbedFraction returns the share of injected noise that landed outside
@@ -159,7 +167,12 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 	if !done.Done() {
 		return Result{}, fmt.Errorf("experiment: workload deadlocked (event queue drained)")
 	}
-	res := Result{ExecTime: eng.Now()}
+	res := Result{
+		ExecTime:          eng.Now(),
+		ContextSwitches:   sched.ContextSwitches,
+		GoroutineHandoffs: sched.GoroutineHandoffs,
+		InlineDispatches:  sched.InlineDispatches,
+	}
 	if replayer != nil {
 		res.InjectedAll = replayer.Done()
 		for cpu := 0; cpu < spec.Platform.Topo.NumCPUs(); cpu++ {

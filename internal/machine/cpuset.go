@@ -117,6 +117,32 @@ func (s CPUSet) List() []int {
 	return out
 }
 
+// NextFrom returns the lowest CPU >= from in the set, or -1 when none.
+// Together with First it supports allocation-free iteration:
+//
+//	for cpu := s.First(); cpu >= 0; cpu = s.NextFrom(cpu + 1) { ... }
+func (s CPUSet) NextFrom(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= MaxCPUs {
+		return -1
+	}
+	if from < 64 {
+		if w := s.lo >> uint(from); w != 0 {
+			return from + bits.TrailingZeros64(w)
+		}
+		if s.hi != 0 {
+			return 64 + bits.TrailingZeros64(s.hi)
+		}
+		return -1
+	}
+	if w := s.hi >> uint(from-64); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	return -1
+}
+
 // First returns the lowest CPU in the set, or -1 when empty.
 func (s CPUSet) First() int {
 	if s.lo != 0 {

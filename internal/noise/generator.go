@@ -84,12 +84,12 @@ func (g *Generator) diskLoop(rng *sim.RNG) {
 		}
 		if g.p.DiskFlushDur > 0 {
 			work := float64(rng.Jitter(g.p.DiskFlushDur, 0.3)) * cycles
-			g.s.Spawn(cpusched.TaskSpec{
+			g.s.SpawnSeq(cpusched.TaskSpec{
 				Name:     "flush",
 				Source:   "kworker/u9:flush-259:0",
 				Kind:     cpusched.KindNoiseThread,
 				Affinity: g.threadAffinity(),
-			}, func(c *cpusched.Ctx) { c.Compute(work) })
+			}, cpusched.ReqCompute(work))
 			g.Spawned++
 		}
 		eng.After(sim.Time(rng.ExpFloat64(g.p.DiskRate)*1e9), next)
@@ -114,6 +114,9 @@ func (g *Generator) threadAffinity() machine.CPUSet {
 func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
 	period := sim.Time(1e9 / g.p.TimerHz)
 	eng := g.s.Engine()
+	// Sort the softirq sources once: map iteration order would make runs
+	// nondeterministic, and re-sorting on every tick would allocate.
+	softirqs := softirqOrder(g.p.SoftIRQProb)
 	// Desynchronize CPUs: first tick at a random phase.
 	first := eng.Now() + sim.Time(rng.Float64()*float64(period))
 	var tick func()
@@ -127,9 +130,7 @@ func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
 		}
 		g.s.InjectIRQ(cpu, cpusched.ClassIRQ, "local_timer:236", dur)
 		g.IRQs++
-		// Iterate softirq sources in sorted order: map iteration order
-		// would make runs nondeterministic.
-		for _, sp := range softirqOrder(g.p.SoftIRQProb) {
+		for _, sp := range softirqs {
 			if rng.Bool(sp.prob) {
 				d := sim.Time(rng.LogNormalMean(float64(g.p.SoftIRQDur[sp.src]), 0.8))
 				if d < 100 {
@@ -167,6 +168,8 @@ func softirqOrder(m map[string]float64) []srcProb {
 func (g *Generator) kworkerLoop(cpu int, rng *sim.RNG) {
 	eng := g.s.Engine()
 	cycles := g.s.Topology().CyclesPerNs()
+	src := fmt.Sprintf("kworker/%d:1", cpu)
+	aff := machine.SetOf(cpu)
 	var next func()
 	next = func() {
 		if eng.Now() > g.horizon {
@@ -177,12 +180,12 @@ func (g *Generator) kworkerLoop(cpu int, rng *sim.RNG) {
 			dur = sim.Microsecond
 		}
 		work := float64(dur) * cycles
-		g.s.Spawn(cpusched.TaskSpec{
+		g.s.SpawnSeq(cpusched.TaskSpec{
 			Name:     "kworker",
-			Source:   fmt.Sprintf("kworker/%d:1", cpu),
+			Source:   src,
 			Kind:     cpusched.KindNoiseThread,
-			Affinity: machine.SetOf(cpu),
-		}, func(c *cpusched.Ctx) { c.Compute(work) })
+			Affinity: aff,
+		}, cpusched.ReqCompute(work))
 		g.Spawned++
 		gap := sim.Time(rng.ExpFloat64(g.p.KworkerRate) * 1e9)
 		eng.After(gap, next)
@@ -196,6 +199,12 @@ func (g *Generator) unboundLoop(rng *sim.RNG) {
 	eng := g.s.Engine()
 	cycles := g.s.Topology().CyclesPerNs()
 	aff := g.threadAffinity()
+	// The source label cycles through 8 pool-thread identities; format
+	// them once instead of per spawn.
+	var srcs [8]string
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("kworker/u%d:%d", g.s.Topology().NumCPUs()*4+1, i)
+	}
 	id := 0
 	var next func()
 	next = func() {
@@ -208,12 +217,12 @@ func (g *Generator) unboundLoop(rng *sim.RNG) {
 			dur = sim.Microsecond
 		}
 		work := float64(dur) * cycles
-		g.s.Spawn(cpusched.TaskSpec{
+		g.s.SpawnSeq(cpusched.TaskSpec{
 			Name:     "kworker-u",
-			Source:   fmt.Sprintf("kworker/u%d:%d", g.s.Topology().NumCPUs()*4+1, id%8),
+			Source:   srcs[id%8],
 			Kind:     cpusched.KindNoiseThread,
 			Affinity: aff,
-		}, func(c *cpusched.Ctx) { c.Compute(work) })
+		}, cpusched.ReqCompute(work))
 		g.Spawned++
 		eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
 	}
@@ -249,19 +258,19 @@ func (g *Generator) daemonLoop(rng *sim.RNG, sources []string, rate float64,
 		for w := 0; w < workers; w++ {
 			stints := 1 + rng.Intn(3)
 			stint := per / float64(stints)
-			g.s.Spawn(cpusched.TaskSpec{
+			reqs := make([]cpusched.Request, 0, 2*stints-1)
+			for i := 0; i < stints; i++ {
+				reqs = append(reqs, cpusched.ReqCompute(stint*cycles))
+				if i < stints-1 {
+					reqs = append(reqs, cpusched.ReqSleep(sim.Time(stint/2)))
+				}
+			}
+			g.s.SpawnSeq(cpusched.TaskSpec{
 				Name:     label,
 				Source:   src,
 				Kind:     cpusched.KindNoiseThread,
 				Affinity: aff,
-			}, func(c *cpusched.Ctx) {
-				for i := 0; i < stints; i++ {
-					c.Compute(stint * cycles)
-					if i < stints-1 {
-						c.Sleep(sim.Time(stint / 2))
-					}
-				}
-			})
+			}, reqs...)
 			g.Spawned++
 		}
 		eng.After(sim.Time(rng.ExpFloat64(rate)*1e9), next)

@@ -127,14 +127,15 @@ func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel
 		endBar:      cpusched.NewBarrier(plan.Threads),
 		cyclesPerNs: s.Topology().CyclesPerNs(),
 	}
-	// Workers are threads 1..N-1; master is thread 0.
+	// Workers are threads 1..N-1; master is thread 0. Workers run as inline
+	// scheduler Programs (no goroutine per thread); the master keeps the
+	// imperative path because it executes the arbitrary workload body.
 	for i := 1; i < plan.Threads; i++ {
-		i := i
-		w := s.Spawn(cpusched.TaskSpec{
+		w := s.SpawnProgram(cpusched.TaskSpec{
 			Name:     fmt.Sprintf("omp-worker-%d", i),
 			Kind:     cpusched.KindWorkload,
 			Affinity: plan.AffinityOf(i),
-		}, func(ctx *cpusched.Ctx) { t.workerLoop(ctx, i) })
+		}, &workerProgram{t: t, id: i})
 		t.workers = append(t.workers, w)
 	}
 	t.master = s.Spawn(cpusched.TaskSpec{
@@ -188,15 +189,145 @@ func (t *Team) ParallelFor(n int, cost func(int) parmodel.Cost) {
 	t.masterCtx.Barrier(t.endBar, t.cfg.ActiveWait)
 }
 
-func (t *Team) workerLoop(ctx *cpusched.Ctx, id int) {
+// workerProgram is the worker thread's loop as an inline scheduler
+// Program, yielding the byte-identical request sequence workerLoop's
+// imperative form issued: park at the region start barrier, claim/execute
+// this thread's chunks, wait at the end barrier, repeat. Shared loop state
+// (t.loop, l.next, t.stop) is read and written inside Next, which runs at
+// exactly the simulated instants the goroutine body performed the same
+// accesses (the fetch points), so dynamic/guided claim races resolve
+// identically.
+type workerProgram struct {
+	t     *Team
+	id    int
+	state int
+	base  int     // next chunk base (static chunked schedule)
+	mem   float64 // memory half of the range whose compute was just yielded
+}
+
+const (
+	wStartBar   = iota // arrive at the region start barrier
+	wBegin             // released: check stop, start this region's loop walk
+	wStaticNext        // static chunked: yield the next chunk's compute
+	wDispatch          // dynamic/guided: yield the per-chunk dispatch cost
+	wClaim             // dynamic/guided: claim a chunk, yield its compute
+	wMemory            // yield the memory half of the current range
+	wEndBar            // arrive at the region end barrier
+)
+
+func (w *workerProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
+	t := w.t
 	for {
-		ctx.Barrier(t.startBar, false)
-		if t.stop {
-			return
+		switch w.state {
+		case wStartBar:
+			w.state = wBegin
+			return cpusched.ReqBarrier(t.startBar, false), true
+		case wBegin:
+			if t.stop {
+				return cpusched.Request{}, false
+			}
+			switch t.cfg.Schedule {
+			case Static:
+				if t.cfg.Chunk <= 0 {
+					l := t.loop
+					lo := w.id * l.n / t.plan.Threads
+					hi := (w.id + 1) * l.n / t.plan.Threads
+					c, b := t.rangeCost(lo, hi)
+					w.mem = b
+					w.state = wMemory
+					return cpusched.ReqCompute(c), true
+				}
+				w.base = w.id * t.cfg.Chunk
+				w.state = wStaticNext
+			case Dynamic, Guided:
+				w.state = wDispatch
+			default:
+				panic("omprt: unknown schedule")
+			}
+		case wStaticNext:
+			l := t.loop
+			if w.base >= l.n {
+				w.state = wEndBar
+				continue
+			}
+			hi := w.base + t.cfg.Chunk
+			if hi > l.n {
+				hi = l.n
+			}
+			c, b := t.rangeCost(w.base, hi)
+			w.base += t.plan.Threads * t.cfg.Chunk
+			w.mem = b
+			w.state = wMemory
+			return cpusched.ReqCompute(c), true
+		case wDispatch:
+			// Zero overhead yields a zero-demand request the scheduler
+			// skips, exactly as dispatchCost sends nothing.
+			w.state = wClaim
+			return cpusched.ReqCompute(float64(t.cfg.DispatchOverhead) * t.cyclesPerNs), true
+		case wClaim:
+			// The claim runs at the fetch following the dispatch compute —
+			// the instant the imperative body resumed and read l.next.
+			l := t.loop
+			lo := l.next
+			if lo >= l.n {
+				w.state = wEndBar
+				continue
+			}
+			hi := lo + t.claimSize(lo)
+			if hi > l.n {
+				hi = l.n
+			}
+			l.next = hi
+			c, b := t.rangeCost(lo, hi)
+			w.mem = b
+			w.state = wMemory
+			return cpusched.ReqCompute(c), true
+		case wMemory:
+			b := w.mem
+			w.mem = 0
+			if t.cfg.Schedule == Static {
+				if t.cfg.Chunk <= 0 {
+					w.state = wEndBar
+				} else {
+					w.state = wStaticNext
+				}
+			} else {
+				w.state = wDispatch
+			}
+			return cpusched.ReqMemory(b), true
+		case wEndBar:
+			w.state = wStartBar
+			return cpusched.ReqBarrier(t.endBar, t.cfg.ActiveWait), true
 		}
-		t.runChunks(ctx, id)
-		ctx.Barrier(t.endBar, t.cfg.ActiveWait)
 	}
+}
+
+// claimSize returns the chunk size a dynamic/guided claim takes when the
+// cursor stands at lo.
+func (t *Team) claimSize(lo int) int {
+	minChunk := t.cfg.Chunk
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	if t.cfg.Schedule == Dynamic {
+		return minChunk
+	}
+	T := t.plan.Threads
+	size := (t.loop.n - lo + 2*T - 1) / (2 * T)
+	if size < minChunk {
+		size = minChunk
+	}
+	return size
+}
+
+// rangeCost sums and scales the cost of iterations [lo, hi).
+func (t *Team) rangeCost(lo, hi int) (cycles, bytes float64) {
+	var total parmodel.Cost
+	for i := lo; i < hi; i++ {
+		total = total.Add(t.loop.cost(i))
+	}
+	total = total.Scale(t.cfg.CostFactor)
+	return total.Cycles, total.Bytes
 }
 
 func (t *Team) shutdownWorkers() {
@@ -279,11 +410,7 @@ func (t *Team) dispatchCost(ctx *cpusched.Ctx) {
 }
 
 func (t *Team) execRange(ctx *cpusched.Ctx, lo, hi int) {
-	var total parmodel.Cost
-	for i := lo; i < hi; i++ {
-		total = total.Add(t.loop.cost(i))
-	}
-	total = total.Scale(t.cfg.CostFactor)
-	ctx.Compute(total.Cycles)
-	ctx.Memory(total.Bytes)
+	c, b := t.rangeCost(lo, hi)
+	ctx.Compute(c)
+	ctx.Memory(b)
 }

@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+// Engine microbenchmarks: the event loop is the innermost layer of every
+// simulated run, so per-event costs here multiply through the whole
+// evaluation harness. `make bench` records these in BENCH_kernel.json.
+
+// BenchmarkEngineEventThroughput measures raw schedule+fire cost with a
+// self-rescheduling timer chain (the noise-generator pattern) over a heap
+// that stays ~1k entries deep.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine()
+	const depth = 1024
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		e.After(depth, tick)
+	}
+	for i := 0; i < depth; i++ {
+		e.After(Time(i), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineRunUntil measures the combined deadline-check-and-pop loop
+// (one heap-top inspection per event).
+func BenchmarkEngineRunUntil(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.After(10, tick) }
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + 100)
+	}
+}
+
+// BenchmarkEngineCancel measures schedule+cancel cycles — the slice-timer
+// and completion-timer churn pattern in the CPU scheduler. Eager reap keeps
+// the heap free of zombies; the free list keeps it allocation-free.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	// Background population so cancels hit an interior heap.
+	for i := 0; i < 256; i++ {
+		e.At(Time(1<<40)+Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(1000, fn)
+		tm.Cancel()
+	}
+}

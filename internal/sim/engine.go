@@ -1,73 +1,57 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Timer is a scheduled callback. It can be cancelled before it fires.
+//
+// Timer structs are pooled: once a timer has fired (or been cancelled) the
+// engine may recycle it for a later At/After call. A handle therefore must
+// not be retained past its callback — holders that store a *Timer must
+// clear or reassign the reference when the callback runs, which every
+// in-tree holder does as the first statement of its callback. Cancel and
+// Pending on a handle whose timer already fired remain safe no-ops only
+// until the struct is reused.
 type Timer struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 once popped
-	canceled bool
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // position in the event heap, -1 when not queued
+	eng   *Engine
 }
 
 // At returns the simulated instant the timer fires at.
 func (t *Timer) At() Time { return t.at }
 
-// Cancel prevents the timer from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op. It reports whether the timer was
-// still pending.
+// Cancel prevents the timer from firing, removing it from the event queue
+// immediately (no zombie entries linger in the heap). Cancelling an
+// already-fired or already-cancelled timer is a no-op. It reports whether
+// the timer was still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.canceled || t.index == -1 {
+	if t == nil || t.index < 0 {
 		return false
 	}
-	t.canceled = true
+	t.eng.removeAt(t.index)
+	t.eng.release(t)
 	return true
 }
 
 // Pending reports whether the timer is scheduled and not cancelled.
-func (t *Timer) Pending() bool { return t != nil && !t.canceled && t.index != -1 }
-
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}
+func (t *Timer) Pending() bool { return t != nil && t.index >= 0 }
 
 // Engine is a single-threaded discrete-event simulator. Events scheduled for
 // the same instant fire in scheduling order, which keeps runs deterministic.
+//
+// The event queue is a 4-ary min-heap ordered by (time, scheduling
+// sequence): 4-ary trades slightly more comparisons per level for half the
+// tree depth and better cache locality than the binary container/heap,
+// which benchmarks measurably faster on the sift-heavy event loop.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events []*Timer
+	free   []*Timer // recycled Timer structs, so steady-state event flow does not allocate
 	seq    uint64
-	// Steps counts processed (non-cancelled) events, for diagnostics and
-	// runaway detection in tests.
+	// Steps counts processed events, for diagnostics and runaway detection
+	// in tests.
 	Steps uint64
 }
 
@@ -84,8 +68,16 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, tm)
+	var tm *Timer
+	if n := len(e.free); n > 0 {
+		tm = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		tm = &Timer{eng: e}
+	}
+	tm.at, tm.seq, tm.fn = t, e.seq, fn
+	e.push(tm)
 	return tm
 }
 
@@ -97,23 +89,29 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
-// Pending reports the number of events in the queue, including cancelled
-// ones that have not been reaped yet.
+// Pending returns the number of live (scheduled, uncancelled) events.
+// Cancelled timers are removed from the queue eagerly, so this is an exact
+// count, never an overcount.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// release returns a fired or cancelled timer to the free list.
+func (e *Engine) release(tm *Timer) {
+	tm.fn = nil
+	tm.index = -1
+	e.free = append(e.free, tm)
+}
 
 // Step processes the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		tm := heap.Pop(&e.events).(*Timer)
-		if tm.canceled {
-			continue
-		}
-		e.now = tm.at
-		e.Steps++
-		tm.fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	tm := e.popMin()
+	e.now = tm.at
+	e.Steps++
+	tm.fn()
+	e.release(tm)
+	return true
 }
 
 // Run processes events until the queue is empty.
@@ -123,14 +121,15 @@ func (e *Engine) Run() {
 }
 
 // RunUntil processes events with timestamps <= t, then advances the clock to
-// t (even if no event fired exactly at t).
+// t (even if no event fired exactly at t). The deadline check and the pop
+// are a single heap-top inspection per event, not a peek-then-pop pair.
 func (e *Engine) RunUntil(t Time) {
-	for {
-		tm := e.peek()
-		if tm == nil || tm.at > t {
-			break
-		}
-		e.Step()
+	for len(e.events) > 0 && e.events[0].at <= t {
+		tm := e.popMin()
+		e.now = tm.at
+		e.Steps++
+		tm.fn()
+		e.release(tm)
 	}
 	if e.now < t {
 		e.now = t
@@ -143,13 +142,103 @@ func (e *Engine) RunWhile(cond func() bool) {
 	}
 }
 
-func (e *Engine) peek() *Timer {
-	for len(e.events) > 0 {
-		if e.events[0].canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
+// ---- 4-ary event heap ----
+
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return nil
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(tm *Timer) {
+	tm.index = len(e.events)
+	e.events = append(e.events, tm)
+	e.siftUp(tm.index)
+}
+
+func (e *Engine) popMin() *Timer {
+	h := e.events
+	tm := h[0]
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+		h[0].index = 0
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	tm.index = -1
+	return tm
+}
+
+// removeAt deletes the timer at heap position i (used by Cancel).
+func (e *Engine) removeAt(i int) {
+	h := e.events
+	n := len(h) - 1
+	removed := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].index = i
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if i != n {
+		if !e.siftUp(i) {
+			e.siftDown(i)
+		}
+	}
+	removed.index = -1
+}
+
+// siftUp restores heap order moving h[i] toward the root; it reports
+// whether the element moved.
+func (e *Engine) siftUp(i int) bool {
+	h := e.events
+	tm := h[i]
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 4
+		if !timerLess(tm, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+		moved = true
+	}
+	h[i] = tm
+	tm.index = i
+	return moved
+}
+
+// siftDown restores heap order moving h[i] toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	tm := h[i]
+	for {
+		min := -1
+		mt := tm
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if timerLess(h[c], mt) {
+				min, mt = c, h[c]
+			}
+		}
+		if min < 0 {
+			break
+		}
+		h[i] = mt
+		h[i].index = i
+		i = min
+	}
+	h[i] = tm
+	tm.index = i
 }

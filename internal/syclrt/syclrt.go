@@ -89,13 +89,15 @@ func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel
 		doneBar:     cpusched.NewBarrier(plan.Threads),
 		cyclesPerNs: s.Topology().CyclesPerNs(),
 	}
+	// Workers run as inline scheduler Programs (no goroutine per pool
+	// thread); the host keeps the imperative path because it executes the
+	// arbitrary workload body.
 	for i := 1; i < plan.Threads; i++ {
-		i := i
-		w := s.Spawn(cpusched.TaskSpec{
+		w := s.SpawnProgram(cpusched.TaskSpec{
 			Name:     fmt.Sprintf("sycl-worker-%d", i),
 			Kind:     cpusched.KindWorkload,
 			Affinity: plan.AffinityOf(i),
-		}, func(ctx *cpusched.Ctx) { q.workerLoop(ctx) })
+		}, &poolProgram{q: q})
 		q.workers = append(q.workers, w)
 	}
 	q.host = s.Spawn(cpusched.TaskSpec{
@@ -150,14 +152,70 @@ func (q *Queue) ParallelFor(n int, cost func(int) parmodel.Cost) {
 	q.hostCtx.Barrier(q.doneBar, q.cfg.ActiveWait)
 }
 
-func (q *Queue) workerLoop(ctx *cpusched.Ctx) {
+// poolProgram is the pool worker's loop as an inline scheduler Program,
+// yielding the byte-identical request sequence the imperative workerLoop
+// issued: park at the kernel barrier, claim and execute work-groups from
+// the shared cursor, rendezvous at the done barrier, repeat. Claims run
+// inside Next at exactly the fetch instants the goroutine body read and
+// advanced q.kern.next, so work-group distribution resolves identically.
+type poolProgram struct {
+	q     *Queue
+	state int
+	mem   float64 // memory half of the work-group whose compute was yielded
+}
+
+const (
+	pKernelBar = iota // arrive at the kernel start barrier
+	pBegin            // released: check stop, begin claiming
+	pDispatch         // yield the per-work-group dispatch cost
+	pClaim            // claim a work-group, yield its compute
+	pMemory           // yield the memory half of the current work-group
+	pDoneBar          // arrive at the kernel end barrier
+)
+
+func (p *poolProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
+	q := p.q
 	for {
-		ctx.Barrier(q.kernelBar, false)
-		if q.stop {
-			return
+		switch p.state {
+		case pKernelBar:
+			p.state = pBegin
+			return cpusched.ReqBarrier(q.kernelBar, false), true
+		case pBegin:
+			if q.stop {
+				return cpusched.Request{}, false
+			}
+			p.state = pDispatch
+		case pDispatch:
+			// Zero dispatch cost yields a zero-demand request the
+			// scheduler skips, exactly as the imperative guard sent
+			// nothing.
+			p.state = pClaim
+			return cpusched.ReqCompute(float64(q.cfg.WGDispatch) * q.cyclesPerNs), true
+		case pClaim:
+			k := q.kern
+			lo := k.next
+			if lo >= k.n {
+				p.state = pDoneBar
+				continue
+			}
+			hi := lo + q.cfg.WGUnits
+			if hi > k.n {
+				hi = k.n
+			}
+			k.next = hi
+			c, b := q.groupCost(lo, hi)
+			p.mem = b
+			p.state = pMemory
+			return cpusched.ReqCompute(c), true
+		case pMemory:
+			b := p.mem
+			p.mem = 0
+			p.state = pDispatch
+			return cpusched.ReqMemory(b), true
+		case pDoneBar:
+			p.state = pKernelBar
+			return cpusched.ReqBarrier(q.doneBar, q.cfg.ActiveWait), true
 		}
-		q.runWorkGroups(ctx)
-		ctx.Barrier(q.doneBar, q.cfg.ActiveWait)
 	}
 }
 
@@ -185,12 +243,18 @@ func (q *Queue) runWorkGroups(ctx *cpusched.Ctx) {
 			hi = k.n
 		}
 		k.next = hi
-		var total parmodel.Cost
-		for i := lo; i < hi; i++ {
-			total = total.Add(k.cost(i))
-		}
-		total = total.Scale(q.cfg.CostFactor)
-		ctx.Compute(total.Cycles)
-		ctx.Memory(total.Bytes)
+		c, b := q.groupCost(lo, hi)
+		ctx.Compute(c)
+		ctx.Memory(b)
 	}
+}
+
+// groupCost sums and scales the cost of work units [lo, hi).
+func (q *Queue) groupCost(lo, hi int) (cycles, bytes float64) {
+	var total parmodel.Cost
+	for i := lo; i < hi; i++ {
+		total = total.Add(q.kern.cost(i))
+	}
+	total = total.Scale(q.cfg.CostFactor)
+	return total.Cycles, total.Bytes
 }
