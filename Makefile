@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-tables bench-quick examples clean cover
+.PHONY: all build test vet fmt race bench bench-kernel bench-tables bench-quick examples clean cover test-service fuzz-smoke serve
 
 all: build vet test
 
@@ -25,6 +25,25 @@ cover:
 # (internal/experiment.Executor) must stay data-race free.
 race:
 	$(GO) test -race ./...
+
+# The experiment-serving daemon and its result cache, under the race
+# detector: the bounded queue, singleflight dedup, cancellation and drain
+# paths are all concurrency-sensitive.
+test-service:
+	$(GO) test -race ./internal/service/ ./internal/rescache/
+
+# Short deterministic-budget fuzz smoke of the two fuzz targets (the cache
+# key canonicalization and the trace codec round trip). `go test -fuzz`
+# accepts one target per package invocation, hence the two runs. FUZZTIME
+# is overridable; 10s each keeps CI wall clock bounded.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/trace -run xxx -fuzz 'FuzzTraceCodecRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/service -run xxx -fuzz 'FuzzSpecHashCanonical$$' -fuzztime $(FUZZTIME)
+
+# Run the daemon locally with a throwaway cache.
+serve:
+	$(GO) run ./cmd/noiselabd -addr :8723 -cache-dir /tmp/noiselab-cache
 
 # Full benchmark harness: every table, figure, and ablation.
 bench:

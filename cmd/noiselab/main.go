@@ -26,6 +26,8 @@
 //	report               regenerate every table and figure into a directory
 //	timeline             export a run's full scheduling timeline (Chrome JSON)
 //	runlevel             baseline variability at runlevel 5 vs 3 (§5.1)
+//	submit status get cancel
+//	                     client mode against a running noiselabd
 package main
 
 import (
@@ -146,6 +148,14 @@ func run() int {
 		err = cmdTimeline(args)
 	case "runlevel":
 		err = cmdRunlevel(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "status":
+		err = cmdStatus(args)
+	case "get":
+		err = cmdGet(args)
+	case "cancel":
+		err = cmdCancel(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -175,6 +185,11 @@ func usage() {
   noiselab fig1 | fig2 [-reps N]
   noiselab fig3 | fig4 | fig5
   noiselab shapecheck [-scale F]
+  noiselab submit     -server URL -platform P -workload W -model M -strategy S
+                      [-seed N] [-reps N] [-size small] [-tracing] [-wait]
+  noiselab status     -server URL -job ID
+  noiselab get        -server URL -job ID [-o result.json]
+  noiselab cancel     -server URL -job ID
 
 Global flags (before the subcommand):
   -parallel N   worker-pool size for repetitions; every study fans its reps

@@ -1,0 +1,11 @@
+package experiment
+
+// ModelVersion identifies the simulation semantics. Runs are pure functions
+// of (spec, seed, ModelVersion): PR 1 made repetition fan-out bit-identical
+// to sequential execution and PR 2 kept the fast-path kernel byte-identical
+// to the coroutine path, so two executions of the same spec under the same
+// ModelVersion produce the same bytes. The result cache (internal/rescache)
+// folds this constant into every cache key; bump it whenever a change could
+// alter any simulated output, and stale cached results become unreachable
+// instead of silently wrong.
+const ModelVersion = "noiselab-model-v2"

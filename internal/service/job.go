@@ -1,0 +1,383 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/rescache"
+	"repro/internal/stats"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one tracked submission.
+type Job struct {
+	ID       string
+	Spec     JobSpec // normalized
+	Hash     string
+	State    JobState
+	Cached   bool // result served without an engine execution
+	Err      string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	result []byte
+	cancel context.CancelFunc
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	SpecHash string   `json:"spec_hash"`
+	Cached   bool     `json:"cached"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// CacheDir roots the on-disk result store ("" = memory-only cache).
+	CacheDir string
+	// MemEntries bounds the in-memory cache tier (default 256).
+	MemEntries int
+	// QueueSize bounds the pending-job queue (default 64).
+	QueueSize int
+	// Workers is the number of jobs executed concurrently (default 1:
+	// each job already fans its reps over the executor's pool).
+	Workers int
+	// Parallelism is the per-job executor pool size (0 = executor
+	// default: REPRO_PARALLEL or GOMAXPROCS).
+	Parallelism int
+	// JobTimeout bounds one job's execution (default 10 minutes).
+	JobTimeout time.Duration
+	// MaxReps rejects specs with more repetitions (default 100000).
+	MaxReps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemEntries <= 0 {
+		c.MemEntries = 256
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.MaxReps <= 0 {
+		c.MaxReps = 100000
+	}
+	return c
+}
+
+// Server owns the job queue, the worker pool, and the result cache. Create
+// with New, serve its Handler, and stop with Drain (graceful) or Close.
+type Server struct {
+	cfg   Config
+	cache *rescache.Cache
+	met   *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   uint64
+	queue    chan *Job
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := rescache.New(cfg.CacheDir, cfg.MemEntries)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg: cfg, cache: cache, met: &metrics{},
+		baseCtx: ctx, baseCancel: cancel,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Metrics returns a snapshot of the service and cache counters.
+func (s *Server) Metrics() Snapshot {
+	return s.met.snapshot(len(s.queue), s.cache.Stats())
+}
+
+// errDraining rejects submissions during shutdown.
+var errDraining = errors.New("service: draining, not accepting jobs")
+
+// errQueueFull rejects submissions when the bounded queue is at capacity.
+var errQueueFull = errors.New("service: job queue full")
+
+// Submit validates, normalizes and enqueues a spec. When the result is
+// already cached the returned job is terminal immediately — the stored
+// bytes are attached without re-execution.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec.Normalize()
+	if err := spec.Validate(s.cfg.MaxReps); err != nil {
+		return nil, err
+	}
+	hash, err := SpecHash(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.count(&s.met.rejected)
+		return nil, errDraining
+	}
+	s.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d", s.nextID),
+		Spec:    spec,
+		Hash:    hash,
+		State:   StateQueued,
+		Created: time.Now(),
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	s.met.count(&s.met.submitted)
+
+	// Fast path: a cached result completes the job at submit time.
+	if data, ok := s.cache.Get(hash); ok {
+		now := time.Now()
+		s.mu.Lock()
+		job.State = StateDone
+		job.Cached = true
+		job.result = data
+		job.Started, job.Finished = now, now
+		s.mu.Unlock()
+		s.met.jobStarted()
+		s.met.jobFinished(StateDone, true, 0)
+		return job, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining { // re-check: Drain may have closed the queue meanwhile
+		delete(s.jobs, job.ID)
+		s.met.count(&s.met.rejected)
+		return nil, errDraining
+	}
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		delete(s.jobs, job.ID)
+		s.met.count(&s.met.rejected)
+		return nil, errQueueFull
+	}
+}
+
+// Job returns a tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status returns the wire status of a job.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return JobStatus{ID: j.ID, State: j.State, SpecHash: j.Hash, Cached: j.Cached, Error: j.Err}, true
+}
+
+// Result returns the payload bytes of a finished job.
+func (s *Server) Result(id string) ([]byte, JobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return j.result, j.State, true
+}
+
+// Cancel cancels a queued or running job. Canceling a terminal job is a
+// no-op; the returned state is the job's state after the call.
+func (s *Server) Cancel(id string) (JobState, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", false
+	}
+	var cancel context.CancelFunc
+	switch j.State {
+	case StateQueued:
+		j.State = StateCanceled
+		j.Finished = time.Now()
+		s.met.count(&s.met.canceled)
+	case StateRunning:
+		cancel = j.cancel
+	}
+	state := j.State
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return state, true
+}
+
+// runJob executes one dequeued job through the cache.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	s.mu.Lock()
+	if job.State != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	job.Started = time.Now()
+	job.cancel = cancel
+	s.mu.Unlock()
+	s.met.jobStarted()
+
+	data, hit, err := s.cache.GetOrCompute(ctx, job.Hash, func(ctx context.Context) ([]byte, error) {
+		s.met.count(&s.met.executions)
+		return s.execute(ctx, job)
+	})
+
+	now := time.Now()
+	s.mu.Lock()
+	job.Finished = now
+	switch {
+	case err == nil:
+		job.State = StateDone
+		job.Cached = hit
+		job.result = data
+	case errors.Is(err, context.Canceled):
+		job.State = StateCanceled
+		job.Err = "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		job.State = StateFailed
+		job.Err = fmt.Sprintf("timed out after %v", s.cfg.JobTimeout)
+	default:
+		job.State = StateFailed
+		job.Err = err.Error()
+	}
+	state, cached := job.State, job.Cached
+	latency := job.Finished.Sub(job.Started).Seconds()
+	s.mu.Unlock()
+	s.met.jobFinished(state, cached, latency)
+}
+
+// execute runs the series on the engine and encodes the result payload.
+func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
+	spec, err := job.Spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	exec := experiment.Executor{Parallelism: s.cfg.Parallelism}
+	times, traces, err := exec.Series(ctx, spec, job.Spec.Reps)
+	if err != nil {
+		return nil, err
+	}
+	res := JobResult{
+		SpecHash:     job.Hash,
+		ModelVersion: experiment.ModelVersion,
+		Spec:         job.Spec,
+		TimesNs:      make([]int64, len(times)),
+		Summary:      stats.SummarizeTimes(times),
+	}
+	for i, t := range times {
+		res.TimesNs[i] = int64(t)
+	}
+	if job.Spec.Tracing {
+		res.Traces = traces
+	}
+	return json.Marshal(res)
+}
+
+// Drain stops accepting submissions and waits for queued and running jobs
+// to finish. When ctx expires first, running jobs are canceled and the
+// drain still waits for workers to observe the cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if already {
+		return errors.New("service: already draining")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force-cancel in-flight jobs
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server: cancels every running job and waits for
+// the workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.workers.Wait()
+}

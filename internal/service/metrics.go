@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/rescache"
+	"repro/internal/stats"
+)
+
+// latencyWindow bounds the per-job latency samples kept for the /metrics
+// quantiles; older samples are overwritten ring-buffer style.
+const latencyWindow = 4096
+
+// metrics aggregates service-level counters. Cache-tier counters live in
+// rescache and are merged into the rendered output.
+type metrics struct {
+	mu         sync.Mutex
+	submitted  uint64
+	done       uint64
+	failed     uint64
+	canceled   uint64
+	rejected   uint64
+	executions uint64
+	cacheHits  uint64
+	inflight   int
+
+	latSecs []float64
+	latNext int
+}
+
+// Snapshot is a point-in-time copy of the service counters, exposed for
+// tests and for the /metrics renderer.
+type Snapshot struct {
+	Submitted, Done, Failed, Canceled, Rejected uint64
+	// Executions counts engine runs (cache compute callbacks); CacheHits
+	// counts jobs served without one.
+	Executions, CacheHits uint64
+	InFlight              int
+	QueueDepth            int
+	// LatencyP50 and LatencyP99 are seconds over the recent window; 0
+	// when no job finished yet.
+	LatencyP50, LatencyP99 float64
+	Cache                  rescache.Stats
+}
+
+func (m *metrics) jobStarted() {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+}
+
+// jobFinished records a terminal state and the job's wall latency.
+func (m *metrics) jobFinished(state JobState, cached bool, latencySecs float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight--
+	switch state {
+	case StateDone:
+		m.done++
+	case StateFailed:
+		m.failed++
+	case StateCanceled:
+		m.canceled++
+	}
+	if cached {
+		m.cacheHits++
+	}
+	if len(m.latSecs) < latencyWindow {
+		m.latSecs = append(m.latSecs, latencySecs)
+	} else {
+		m.latSecs[m.latNext] = latencySecs
+		m.latNext = (m.latNext + 1) % latencyWindow
+	}
+}
+
+func (m *metrics) count(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// snapshot merges the service counters with the cache tier's.
+func (m *metrics) snapshot(queueDepth int, cache rescache.Stats) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Submitted: m.submitted, Done: m.done, Failed: m.failed,
+		Canceled: m.canceled, Rejected: m.rejected,
+		Executions: m.executions, CacheHits: m.cacheHits,
+		InFlight: m.inflight, QueueDepth: queueDepth, Cache: cache,
+	}
+	if len(m.latSecs) > 0 {
+		sorted := append([]float64(nil), m.latSecs...)
+		sort.Float64s(sorted)
+		s.LatencyP50 = stats.Quantile(sorted, 0.50)
+		s.LatencyP99 = stats.Quantile(sorted, 0.99)
+	}
+	return s
+}
+
+// render writes the snapshot in Prometheus text exposition format.
+func (s Snapshot) render(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP noiselabd_jobs_total Jobs by terminal state.\n")
+	p("# TYPE noiselabd_jobs_total counter\n")
+	p("noiselabd_jobs_total{state=\"done\"} %d\n", s.Done)
+	p("noiselabd_jobs_total{state=\"failed\"} %d\n", s.Failed)
+	p("noiselabd_jobs_total{state=\"canceled\"} %d\n", s.Canceled)
+	p("# TYPE noiselabd_jobs_submitted_total counter\n")
+	p("noiselabd_jobs_submitted_total %d\n", s.Submitted)
+	p("# TYPE noiselabd_jobs_rejected_total counter\n")
+	p("noiselabd_jobs_rejected_total %d\n", s.Rejected)
+	p("# HELP noiselabd_queue_depth Jobs waiting in the bounded queue.\n")
+	p("# TYPE noiselabd_queue_depth gauge\n")
+	p("noiselabd_queue_depth %d\n", s.QueueDepth)
+	p("# TYPE noiselabd_jobs_inflight gauge\n")
+	p("noiselabd_jobs_inflight %d\n", s.InFlight)
+	p("# HELP noiselabd_executions_total Engine executions (cache misses that ran).\n")
+	p("# TYPE noiselabd_executions_total counter\n")
+	p("noiselabd_executions_total %d\n", s.Executions)
+	p("# HELP noiselabd_cache_hits_total Jobs served without an engine execution.\n")
+	p("# TYPE noiselabd_cache_hits_total counter\n")
+	p("noiselabd_cache_hits_total %d\n", s.CacheHits)
+	p("# TYPE noiselabd_cache_hit_ratio gauge\n")
+	p("noiselabd_cache_hit_ratio %.6f\n", s.Cache.HitRatio())
+	p("noiselabd_cache_mem_hits_total %d\n", s.Cache.MemHits)
+	p("noiselabd_cache_disk_hits_total %d\n", s.Cache.DiskHits)
+	p("noiselabd_cache_flight_hits_total %d\n", s.Cache.FlightHits)
+	p("noiselabd_cache_misses_total %d\n", s.Cache.Misses)
+	p("noiselabd_cache_corrupt_total %d\n", s.Cache.Corrupt)
+	p("noiselabd_cache_evictions_total %d\n", s.Cache.Evictions)
+	p("noiselabd_cache_mem_entries %d\n", s.Cache.MemEntries)
+	p("# HELP noiselabd_job_latency_seconds Recent job wall latency quantiles.\n")
+	p("# TYPE noiselabd_job_latency_seconds summary\n")
+	p("noiselabd_job_latency_seconds{quantile=\"0.5\"} %.9f\n", s.LatencyP50)
+	p("noiselabd_job_latency_seconds{quantile=\"0.99\"} %.9f\n", s.LatencyP99)
+}

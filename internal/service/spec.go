@@ -1,0 +1,173 @@
+// Package service exposes the experiment engine as an HTTP/JSON daemon:
+// submit an experiment spec, poll job status, fetch results, cancel. A
+// bounded job queue feeds the deterministic parallel executor
+// (internal/experiment.Executor), and a content-addressed result cache
+// (internal/rescache) serves repeated submissions of identical specs
+// without re-execution — sound because runs are pure functions of
+// (spec, seed, model version).
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/mitigate"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// JobSpec is the wire form of one experiment submission: a repetition
+// series of one (platform, workload, model, strategy) cell. It is the
+// serializable counterpart of experiment.Spec plus a repetition count.
+type JobSpec struct {
+	// Platform is a preset name (see repro.PlatformNames; the tiny test
+	// machines are also accepted).
+	Platform string `json:"platform"`
+	// Workload is a workload name; Size selects the problem size:
+	// "" or "default" for the paper-calibrated size, "small" for the
+	// CI-sized variant.
+	Workload string `json:"workload"`
+	Size     string `json:"size,omitempty"`
+	// Model is "omp" or "sycl".
+	Model string `json:"model"`
+	// Strategy is a mitigation label (Rm, RmHK, ..., optional -SMT).
+	Strategy string `json:"strategy"`
+	// Seed is the base seed; rep i derives its own seed from it.
+	Seed uint64 `json:"seed"`
+	// Reps is the repetition count (>= 1).
+	Reps int `json:"reps"`
+	// Tracing records an osnoise-style trace per rep.
+	Tracing bool `json:"tracing,omitempty"`
+	// NoiseScale multiplies natural noise intensity; 0 and 1 both mean
+	// the natural level.
+	NoiseScale float64 `json:"noise_scale,omitempty"`
+	// Runlevel3 disables GUI noise (§5.1 re-runs).
+	Runlevel3 bool `json:"runlevel3,omitempty"`
+	// PinInjectors pins injector processes (ablation).
+	PinInjectors bool `json:"pin_injectors,omitempty"`
+	// Inject, when non-nil, replays this noise configuration (stage 3).
+	Inject *core.Config `json:"inject,omitempty"`
+}
+
+// Normalize rewrites representation-only variation to canonical form so
+// semantically equal specs hash equal: model and strategy case/spelling,
+// the two spellings of the default size, and the two spellings of natural
+// noise intensity. It does not validate; call Validate after.
+func (s *JobSpec) Normalize() {
+	s.Platform = strings.TrimSpace(s.Platform)
+	s.Workload = strings.TrimSpace(s.Workload)
+	s.Model = strings.ToLower(strings.TrimSpace(s.Model))
+	if st, err := mitigate.Parse(strings.TrimSpace(s.Strategy)); err == nil {
+		s.Strategy = st.Name()
+	}
+	if s.Size == "default" {
+		s.Size = ""
+	}
+	if s.NoiseScale == 1 {
+		s.NoiseScale = 0
+	}
+}
+
+// Validate checks the spec against the known platforms, workloads, models
+// and strategies, and bounds Reps by maxReps (<=0 means no bound).
+func (s *JobSpec) Validate(maxReps int) error {
+	if _, err := platform.New(s.Platform); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := workloads.ByName(s.Workload, "small"); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	switch s.Size {
+	case "", "small":
+	default:
+		return fmt.Errorf("service: unknown size %q (want \"\", \"default\" or \"small\")", s.Size)
+	}
+	switch s.Model {
+	case "omp", "sycl":
+	default:
+		return fmt.Errorf("service: unknown model %q (want omp or sycl)", s.Model)
+	}
+	if _, err := mitigate.Parse(s.Strategy); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if s.Reps < 1 {
+		return fmt.Errorf("service: reps %d must be >= 1", s.Reps)
+	}
+	if maxReps > 0 && s.Reps > maxReps {
+		return fmt.Errorf("service: reps %d exceeds the server limit %d", s.Reps, maxReps)
+	}
+	if s.NoiseScale < 0 || math.IsNaN(s.NoiseScale) || math.IsInf(s.NoiseScale, 0) {
+		return fmt.Errorf("service: noise_scale %g must be finite and >= 0", s.NoiseScale)
+	}
+	if s.Inject != nil {
+		if err := s.Inject.Validate(); err != nil {
+			return fmt.Errorf("service: inject config: %w", err)
+		}
+	}
+	return nil
+}
+
+// Resolve converts the wire spec into an executable experiment.Spec.
+func (s *JobSpec) Resolve() (experiment.Spec, error) {
+	p, err := platform.New(s.Platform)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	var w workloads.Workload
+	if s.Size == "small" {
+		w, err = p.TinySpec(s.Workload)
+	} else {
+		w, err = p.WorkloadSpec(s.Workload)
+	}
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	strat, err := mitigate.Parse(s.Strategy)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	return experiment.Spec{
+		Platform: p, Workload: w, Model: s.Model, Strategy: strat,
+		Seed: s.Seed, Tracing: s.Tracing, Inject: s.Inject,
+		PinInjectors: s.PinInjectors, NoiseScale: s.NoiseScale,
+		Runlevel3: s.Runlevel3,
+	}, nil
+}
+
+// SpecHash returns the content address of a spec: the hex SHA-256 of its
+// canonical JSON encoding salted with experiment.ModelVersion. Semantically
+// equal specs (after Normalize) hash equal; any semantic field change, and
+// any model-version bump, changes the key. The spec is normalized in place.
+func SpecHash(s *JobSpec) (string, error) {
+	s.Normalize()
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("service: hashing spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(experiment.ModelVersion))
+	h.Write([]byte{0})
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// JobResult is the wire form of a completed execution series: the raw
+// per-rep times (the deterministic ground truth) plus the summary the
+// paper's tables derive from them. Its JSON encoding is the byte payload
+// the cache stores and the /result endpoint serves verbatim.
+type JobResult struct {
+	SpecHash     string         `json:"spec_hash"`
+	ModelVersion string         `json:"model_version"`
+	Spec         JobSpec        `json:"spec"`
+	TimesNs      []int64        `json:"times_ns"`
+	Summary      stats.Summary  `json:"summary_ms"`
+	Traces       []*trace.Trace `json:"traces,omitempty"`
+}

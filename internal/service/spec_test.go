@@ -1,0 +1,163 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeCanonicalizesRepresentation(t *testing.T) {
+	a := JobSpec{Platform: " tiny-test ", Workload: "nbody", Model: "OMP",
+		Strategy: "Rm", Seed: 3, Reps: 5, Size: "default", NoiseScale: 1.0}
+	b := JobSpec{Platform: "tiny-test", Workload: "nbody", Model: "omp",
+		Strategy: "Rm", Seed: 3, Reps: 5}
+	ha, err := SpecHash(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := SpecHash(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("representation variants hash differently: %s vs %s", ha, hb)
+	}
+}
+
+func TestSpecHashSensitivity(t *testing.T) {
+	base := JobSpec{Platform: "tiny-test", Workload: "nbody", Model: "omp",
+		Strategy: "Rm", Seed: 3, Reps: 5}
+	h0, err := SpecHash(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*JobSpec){
+		"seed":      func(s *JobSpec) { s.Seed++ },
+		"reps":      func(s *JobSpec) { s.Reps++ },
+		"tracing":   func(s *JobSpec) { s.Tracing = true },
+		"runlevel3": func(s *JobSpec) { s.Runlevel3 = true },
+		"scale":     func(s *JobSpec) { s.NoiseScale = 2.5 },
+		"model":     func(s *JobSpec) { s.Model = "sycl" },
+		"strategy":  func(s *JobSpec) { s.Strategy = "TPHK" },
+		"workload":  func(s *JobSpec) { s.Workload = "minife" },
+		"platform":  func(s *JobSpec) { s.Platform = "intel-9700kf" },
+		"size":      func(s *JobSpec) { s.Size = "small" },
+		"pin":       func(s *JobSpec) { s.PinInjectors = true },
+	}
+	for name, mutate := range mutations {
+		m := base
+		mutate(&m)
+		h, err := SpecHash(&m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == h0 {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
+
+// FuzzSpecHashCanonical fuzzes the cache-key derivation: semantically
+// equal specs must hash equal (whitespace, case, and default spellings are
+// representation only), and changing any semantic field must change the
+// key — a collision here would silently serve one experiment's results for
+// another.
+func FuzzSpecHashCanonical(f *testing.F) {
+	f.Add("tiny-test", "nbody", uint8(0), uint8(0), uint64(1), 10, false, 0.0, false, false, "small")
+	f.Add("intel-9700kf", "babelstream", uint8(1), uint8(3), uint64(99), 200, true, 2.5, true, true, "")
+	f.Add("amd-9950x3d", "minife", uint8(0), uint8(5), uint64(7), 1, false, 1.0, false, false, "default")
+	f.Fuzz(func(t *testing.T, platform, workload string, modelSel, stratSel uint8,
+		seed uint64, reps int, tracing bool, noiseScale float64, runlevel3, pin bool, size string) {
+		models := []string{"omp", "sycl"}
+		strategies := []string{"Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"}
+		spec := JobSpec{
+			Platform: platform, Workload: workload,
+			Model:    models[int(modelSel)%len(models)],
+			Strategy: strategies[int(stratSel)%len(strategies)],
+			Seed:     seed, Reps: reps, Tracing: tracing,
+			NoiseScale: noiseScale, Runlevel3: runlevel3,
+			PinInjectors: pin, Size: size,
+		}
+		spec.Normalize()
+		if spec.Validate(0) != nil {
+			t.Skip()
+		}
+		h0, err := SpecHash(&spec)
+		if err != nil {
+			t.Fatalf("hashing valid spec: %v", err)
+		}
+
+		// Determinism: hashing a copy yields the same key.
+		clone := spec
+		if h, _ := SpecHash(&clone); h != h0 {
+			t.Fatalf("clone hash differs: %s vs %s", h, h0)
+		}
+
+		// Representation variants collapse to the same key.
+		variants := []func(*JobSpec){
+			func(s *JobSpec) { s.Platform = "  " + s.Platform + "\t" },
+			func(s *JobSpec) { s.Model = strings.ToUpper(s.Model) },
+			func(s *JobSpec) {
+				if s.Size == "" {
+					s.Size = "default"
+				}
+			},
+			func(s *JobSpec) {
+				if s.NoiseScale == 0 {
+					s.NoiseScale = 1.0
+				}
+			},
+		}
+		for i, vary := range variants {
+			v := spec
+			vary(&v)
+			if h, err := SpecHash(&v); err != nil || h != h0 {
+				t.Fatalf("variant %d: hash %s err %v, want %s", i, h, err, h0)
+			}
+		}
+
+		// Semantic mutations must move the key.
+		mutations := []func(*JobSpec){
+			func(s *JobSpec) { s.Seed++ },
+			func(s *JobSpec) { s.Reps++ },
+			func(s *JobSpec) { s.Tracing = !s.Tracing },
+			func(s *JobSpec) { s.Runlevel3 = !s.Runlevel3 },
+			func(s *JobSpec) { s.PinInjectors = !s.PinInjectors },
+			func(s *JobSpec) { s.NoiseScale = s.NoiseScale + 3 },
+			func(s *JobSpec) {
+				if s.Model == "omp" {
+					s.Model = "sycl"
+				} else {
+					s.Model = "omp"
+				}
+			},
+			func(s *JobSpec) {
+				if s.Strategy == "Rm" {
+					s.Strategy = "TPHK2"
+				} else {
+					s.Strategy = "Rm"
+				}
+			},
+			func(s *JobSpec) {
+				if s.Size == "small" {
+					s.Size = ""
+				} else {
+					s.Size = "small"
+				}
+			},
+		}
+		for i, mutate := range mutations {
+			m := spec
+			mutate(&m)
+			m.Normalize()
+			if m.Validate(0) != nil || reflect.DeepEqual(m, spec) {
+				// Invalid after mutation, or a no-op (e.g. float
+				// saturation made x+3 == x): no hash claim to check.
+				continue
+			}
+			if h, err := SpecHash(&m); err != nil || h == h0 {
+				t.Fatalf("mutation %d did not change the hash (%s, err %v)", i, h, err)
+			}
+		}
+	})
+}

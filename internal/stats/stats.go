@@ -119,12 +119,16 @@ func SummarizeTimes(ts []sim.Time) Summary {
 }
 
 // Quantile returns the q-quantile (0..1) of sorted data using linear
-// interpolation. It panics on unsorted input detection only in tests; the
-// caller must pass sorted data.
+// interpolation (the "type 7" convention); the caller must pass sorted
+// data. Out-of-range q clamps to the extremes; a NaN q yields NaN (it
+// used to index out of range and panic).
 func Quantile(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q <= 0 {
 		return sorted[0]

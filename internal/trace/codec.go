@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/cpusched"
 	"repro/internal/sim"
@@ -73,6 +74,12 @@ func ReadText(r io.Reader) (*Trace, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
+		}
+		if !utf8.ValidString(line) {
+			// The tracer only emits ASCII labels; rejecting invalid UTF-8
+			// keeps every accepted trace representable in the JSON codec,
+			// which would otherwise mangle such bytes into U+FFFD.
+			return nil, fmt.Errorf("trace: line %d: invalid UTF-8", lineNo)
 		}
 		if strings.HasPrefix(line, "#") {
 			if err := parseHeader(line, tr); err != nil {

@@ -1,0 +1,93 @@
+package trace
+
+// Fuzzing for the Figure-3 text codec and the JSON codec: any input the
+// parser accepts must re-encode to a stable fixed point (write → read →
+// write yields identical bytes and an identical trace), and the parser
+// must never panic on hostile input. Run continuously with
+// `make fuzz-smoke` or `go test ./internal/trace -fuzz FuzzTraceCodecRoundTrip`.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// maxRoundTripTime bounds Start/Duration/ExecTime values for the exactness
+// check: the text format carries times as floating-point seconds with 9
+// decimals, which is lossless only while the nanosecond count fits in a
+// float64's 53-bit mantissa. Parsed traces beyond that are still valid,
+// they just may normalize once before reaching the fixed point.
+const maxRoundTripTime = sim.Time(1) << 50
+
+func exactlyRepresentable(tr *Trace) bool {
+	if tr.ExecTime < 0 || tr.ExecTime > maxRoundTripTime {
+		return false
+	}
+	for _, e := range tr.Events {
+		if e.Start < 0 || e.Start > maxRoundTripTime {
+			return false
+		}
+		if e.Duration < 0 || e.Duration > maxRoundTripTime {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzTraceCodecRoundTrip(f *testing.F) {
+	f.Add([]byte("# platform=intel-9700kf workload=nbody model=omp strategy=Rm seed=7 exec=0.450971154\n" +
+		"005  irq_noise      local_timer:236   255.045740274    310 ns\n" +
+		"010  softirq_noise  RCU:9             255.045742404    140 ns\n" +
+		"013  thread_noise   kworker/13:1      256.188747948   3760 ns\n"))
+	f.Add([]byte("# platform=p workload=w model=sycl strategy=TPHK2-SMT seed=18446744073709551615 exec=0.000000001\n"))
+	f.Add([]byte("000  thread_noise  a  0.0  0 ns\n"))
+	f.Add([]byte("#\n#\n# seed=0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only "no panic" is asserted
+		}
+
+		// Accepted input must re-encode and re-parse.
+		var buf1 bytes.Buffer
+		if err := WriteText(&buf1, tr); err != nil {
+			t.Fatalf("WriteText on accepted trace: %v", err)
+		}
+		tr2, err := ReadText(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing own output: %v\noutput:\n%s", err, buf1.Bytes())
+		}
+
+		// Within the exactly-representable range the round trip is an
+		// identity; outside it, one write→read must already be the fixed
+		// point (a second encode yields identical bytes).
+		if exactlyRepresentable(tr) {
+			if !reflect.DeepEqual(tr, tr2) {
+				t.Fatalf("text round trip changed the trace:\n%#v\nvs\n%#v", tr, tr2)
+			}
+		}
+		var buf2 bytes.Buffer
+		if err := WriteText(&buf2, tr2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("text encoding is not a fixed point:\n%s\nvs\n%s", buf1.Bytes(), buf2.Bytes())
+		}
+
+		// The JSON codec must round-trip the parsed trace exactly —
+		// sim.Time serializes as integer nanoseconds, so no range caveat.
+		var jbuf bytes.Buffer
+		if err := WriteJSON(&jbuf, tr); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		tr3, err := ReadJSON(&jbuf)
+		if err != nil {
+			t.Fatalf("ReadJSON: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr3) {
+			t.Fatalf("JSON round trip changed the trace:\n%#v\nvs\n%#v", tr, tr3)
+		}
+	})
+}

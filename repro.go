@@ -87,6 +87,12 @@ type (
 	ProgressFunc = experiment.ProgressFunc
 )
 
+// ModelVersion identifies the simulation semantics; runs are pure
+// functions of (spec, seed, ModelVersion). The noiselabd result cache
+// folds it into every cache key, so bumping it (done whenever a change
+// could alter simulated output) invalidates stale cached results.
+const ModelVersion = experiment.ModelVersion
+
 // Mitigation strategy columns (paper §5 labels).
 var (
 	Rm    = mitigate.Rm
