@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-tables bench-quick examples clean cover test-service fuzz-smoke serve
+.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-tables bench-quick examples clean cover test-service fuzz-smoke serve
 
 all: build vet test
 
@@ -58,6 +58,16 @@ bench-kernel:
 	  $(GO) test ./internal/sim/ ./internal/cpusched/ -run xxx -bench . -benchmem -benchtime $(BENCHTIME) -timeout 1h; } \
 	| $(GO) run ./cmd/benchjson -note "seed baseline (same host, -benchtime 300x): BenchmarkSimulatedRun 1310180 ns/op, 771925 B/op, 10039 allocs/op" > BENCH_kernel.json
 	@cat BENCH_kernel.json
+
+# Observability overhead evidence: the bare run against the obs recorder's
+# off/counters/timeline modes, recorded as committed JSON. The "off" case
+# must stay within 2% of BenchmarkSimulatedRun (nil-observer fast path,
+# zero allocations when disabled) — see DESIGN.md §8.
+bench-obs:
+	$(GO) test . -run xxx -bench 'BenchmarkSimulatedRun$$|BenchmarkSimulatedRunObs' \
+	  -benchmem -benchtime $(BENCHTIME) -timeout 1h \
+	| $(GO) run ./cmd/benchjson -note "obs overhead: off mode must stay within 2% of BenchmarkSimulatedRun (passive observer, nil-check fast path)" > BENCH_obs.json
+	@cat BENCH_obs.json
 
 # Only the paper's tables/figures (skips ablations and micro-benches).
 bench-tables:

@@ -30,6 +30,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/machine"
 	"repro/internal/mitigate"
+	"repro/internal/obs"
 	"repro/internal/omprt"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -507,6 +508,53 @@ func BenchmarkSimulatedRun(b *testing.B) {
 	b.ReportMetric(float64(last.ContextSwitches), "ctxsw/run")
 	b.ReportMetric(float64(last.GoroutineHandoffs), "handoffs/run")
 	b.ReportMetric(float64(last.InlineDispatches), "inline/run")
+}
+
+// BenchmarkSimulatedRunObs is BenchmarkSimulatedRun with the passive
+// observability recorder attached in each of its three modes. Compare the
+// "off" case against BenchmarkSimulatedRun to verify the disabled path
+// (a nil observer check per emission site) costs <=2%; "counters" and
+// "timeline" price the enabled modes. `make bench-obs` records the four
+// as BENCH_obs.json.
+func BenchmarkSimulatedRunObs(b *testing.B) {
+	p, err := platform.New(Intel9700KF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := p.WorkloadSpec("nbody")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts func() *obs.Options
+	}{
+		{"off", func() *obs.Options { return nil }},
+		{"counters", func() *obs.Options { return &obs.Options{Reg: obs.NewRegistry()} }},
+		{"timeline", func() *obs.Options { return &obs.Options{Timeline: true} }},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := RunOnce(Spec{
+					Platform: p, Workload: w, Model: "omp", Strategy: Rm,
+					Seed: uint64(i), Tracing: true, Obs: m.opts(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Obs != nil {
+					events = res.Obs.Total()
+				}
+			}
+			if events > 0 {
+				b.ReportMetric(float64(events), "obs-events/run")
+			}
+		})
+	}
 }
 
 // BenchmarkPipeline measures stages 1+2 end to end on a tiny machine.

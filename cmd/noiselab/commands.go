@@ -6,20 +6,64 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"repro"
 	"repro/internal/experiment"
 	"repro/internal/mitigate"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
+// obsReg is the shared counter registry every observed run publishes into
+// (lazily created; one per invocation so counters accumulate across cells).
+var (
+	obsRegOnce sync.Once
+	obsReg     *obs.Registry
+)
+
+func obsRegistry() *obs.Registry {
+	obsRegOnce.Do(func() { obsReg = obs.NewRegistry() })
+	return obsReg
+}
+
+// timelineOnce guards -timeline-out: the first recorded timeline wins (one
+// representative run; a study would otherwise overwrite the file per cell).
+var timelineOnce sync.Once
+
+// writeTimelineOut writes a recorder's timeline to the -timeline-out file.
+func writeTimelineOut(rec *obs.Recorder) {
+	timelineOnce.Do(func() {
+		f, err := os.Create(gTimelineOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noiselab: -timeline-out: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := rec.WriteChromeJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "noiselab: -timeline-out: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "timeline: %d events -> %s (open in Perfetto / chrome://tracing)\n",
+			len(rec.Events()), gTimelineOut)
+	})
+}
+
 // newExec builds the executor every study-running subcommand shares,
-// honoring the global -parallel and -v flags.
+// honoring the global -parallel, -v, -obs and -timeline-out flags.
 func newExec() repro.Executor {
 	e := repro.Executor{Parallelism: gParallel}
 	if gVerbose {
 		e.OnCell = func(done, total int, label string) {
 			fmt.Fprintf(os.Stderr, "cell %d/%d %s\n", done, total, label)
+		}
+	}
+	if gObs || gTimelineOut != "" {
+		e.Obs = &experiment.ObsOptions{
+			Timeline:   gTimelineOut != "",
+			Reg:        obsRegistry(),
+			OnTimeline: writeTimelineOut,
+			FlightSink: os.Stderr,
 		}
 	}
 	return e
@@ -94,12 +138,19 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := repro.RunOnce(repro.Spec{
+	spec := repro.Spec{
 		Platform: p, Workload: w, Model: *c.model, Strategy: strat,
 		Seed: *c.seed, Tracing: *traceOut != "",
-	})
+	}
+	if gObs || gTimelineOut != "" {
+		spec.Obs = &obs.Options{Timeline: gTimelineOut != "", Reg: obsRegistry()}
+	}
+	res, err := repro.RunOnce(spec)
 	if err != nil {
 		return err
+	}
+	if res.Obs != nil && gTimelineOut != "" {
+		writeTimelineOut(res.Obs)
 	}
 	fmt.Printf("exec time: %.6f s\n", res.ExecTime.Seconds())
 	if gVerbose {

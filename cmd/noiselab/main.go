@@ -38,13 +38,15 @@ import (
 	"runtime/pprof"
 )
 
-// Global flags (before the subcommand): worker-pool size, progress, and
-// profiling outputs.
+// Global flags (before the subcommand): worker-pool size, progress,
+// observability, and profiling outputs.
 var (
-	gParallel   int
-	gVerbose    bool
-	gCPUProfile string
-	gMemProfile string
+	gParallel    int
+	gVerbose     bool
+	gObs         bool
+	gTimelineOut string
+	gCPUProfile  string
+	gMemProfile  string
 )
 
 func main() {
@@ -59,6 +61,10 @@ func run() int {
 	global.IntVar(&gParallel, "parallel", 0,
 		"worker-pool size for repetitions (0 = REPRO_PARALLEL or GOMAXPROCS; 1 = sequential)")
 	global.BoolVar(&gVerbose, "v", false, "report study progress (cell k/N) to stderr")
+	global.BoolVar(&gObs, "obs", false,
+		"attach the passive observability recorder and print its counter registry to stderr on exit")
+	global.StringVar(&gTimelineOut, "timeline-out", "",
+		"record the first run's scheduling timeline and write it as Chrome trace-event JSON (open in Perfetto)")
 	global.StringVar(&gCPUProfile, "cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	global.StringVar(&gMemProfile, "memprofile", "", "write a heap profile (after GC) to this file on exit")
 	if err := global.Parse(os.Args[1:]); err != nil {
@@ -167,6 +173,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "noiselab %s: %v\n", cmd, err)
 		return 1
 	}
+	if gObs {
+		fmt.Fprintln(os.Stderr, "--- observability registry ---")
+		obsRegistry().WritePrometheus(os.Stderr)
+	}
 	return 0
 }
 
@@ -198,6 +208,14 @@ Global flags (before the subcommand):
   -v            report study progress (cell k/N) to stderr; 'run' also
                 prints the scheduler kernel counters (context switches,
                 inline dispatches, goroutine handoffs)
+  -obs          attach the passive observability recorder to every run and
+                print the accumulated counter registry (Prometheus text) to
+                stderr on exit; failed reps dump their flight ring to stderr
+  -timeline-out F
+                record the first run's full scheduling timeline (task spans,
+                preemptions, IRQs, barrier waits, noise) and write Chrome
+                trace-event JSON to F — open in Perfetto or chrome://tracing.
+                Simulation results are byte-identical with or without it.
   -cpuprofile F write a CPU profile of the whole invocation to F
   -memprofile F write a heap profile (after GC) to F on exit
 

@@ -11,7 +11,13 @@
 //
 //	noiselabd [-addr :8723] [-cache-dir DIR] [-queue N] [-workers N]
 //	          [-parallel N] [-job-timeout D] [-drain-timeout D]
-//	          [-mem-entries N] [-max-reps N]
+//	          [-mem-entries N] [-max-reps N] [-flight-ring N]
+//
+// Observability: GET /metrics serves the service and kernel counters
+// (Prometheus text; ?format=json for JSON), GET /debug/flightrecorder the
+// most recent flight-recorder dumps of failed reps, and
+// GET /v1/jobs/{id}/timeline the Chrome trace-event timeline of a job
+// submitted with "timeline": true.
 //
 // Clients: noiselab submit | status | get | cancel (see noiselab -h).
 package main
@@ -41,6 +47,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
 	memEntries := flag.Int("mem-entries", 256, "in-memory cache entries (LRU)")
 	maxReps := flag.Int("max-reps", 100000, "largest accepted repetition count")
+	flightRing := flag.Int("flight-ring", 0,
+		"per-rep flight-recorder ring size for /debug/flightrecorder (0 = default)")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
@@ -51,6 +59,7 @@ func main() {
 		Parallelism: *parallel,
 		JobTimeout:  *jobTimeout,
 		MaxReps:     *maxReps,
+		FlightRing:  *flightRing,
 	})
 	if err != nil {
 		log.Fatalf("noiselabd: %v", err)

@@ -61,6 +61,9 @@ func (r *Replayer) Start() {
 			cycles: r.s.Topology().CyclesPerNs(),
 		})
 		r.tasks = append(r.tasks, t)
+		if rec := r.s.Observer(); rec != nil {
+			rec.Instant(t.CPU(), "injector-start", "injector", name, base)
+		}
 	}
 }
 
@@ -111,8 +114,12 @@ func (r *Replayer) Tasks() []*cpusched.Task { return r.tasks }
 // StopAll kills any injectors still running — the workload-completion early
 // termination of Listing 1.
 func (r *Replayer) StopAll() {
+	rec := r.s.Observer()
 	for _, t := range r.tasks {
 		if !t.Done() {
+			if rec != nil {
+				rec.Instant(t.CPU(), "injector-stop", "injector", t.Name, r.s.Now())
+			}
 			r.s.Kill(t)
 		}
 	}

@@ -74,6 +74,9 @@ func (s *Scheduler) barrierArrive(t *Task, b *Barrier, spin bool) bool {
 	}
 	if len(b.waiters)+1 < b.n {
 		t.bar = b
+		if s.obs != nil {
+			t.barArrive = s.eng.Now()
+		}
 		b.waiters = append(b.waiters, t)
 		return false
 	}
@@ -90,6 +93,12 @@ func (s *Scheduler) barrierArrive(t *Task, b *Barrier, spin bool) bool {
 	sc := s.getBarScratch()
 	for _, w := range waiters {
 		w.bar = nil
+		if s.obs != nil {
+			// The wait span runs from the waiter's arrival to this release;
+			// its length is exactly the straggler slack the paper's barrier
+			// analyses reason about. The releasing arriver has no span.
+			s.obs.Span(w.cpu, "barrier-wait", "barrier", w.Name, w.barArrive, s.eng.Now())
+		}
 		switch {
 		case w.state == StateRunning && w.seg.kind == segSpin:
 			sc.spinners = append(sc.spinners, w)

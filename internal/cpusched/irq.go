@@ -49,6 +49,9 @@ func (s *Scheduler) endIRQ(c *cpuState) {
 	class, source := c.irqClass, c.irqSource
 	c.inIRQ = false
 	s.irqTime[c.id] += s.eng.Now() - start
+	if s.obs != nil {
+		s.obs.Span(c.id, source, class.String(), "irq", start, s.eng.Now())
+	}
 	if s.tracer != nil {
 		s.tracer.IRQRan(c.id, class, source, start, s.eng.Now())
 	}

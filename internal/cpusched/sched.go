@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -105,6 +106,11 @@ type Scheduler struct {
 	tasks []*Task
 
 	tracer Hook
+	// obs is the passive observability recorder. Unlike the tracer it
+	// steals no simulated time: attaching it cannot change any scheduling
+	// decision or timestamp. Every emission site is nil-guarded so the
+	// disabled path costs one pointer compare and allocates nothing.
+	obs *obs.Recorder
 
 	memStreams int
 	nextID     int
@@ -201,6 +207,33 @@ func (s *Scheduler) Now() sim.Time { return s.eng.Now() }
 // Options.TraceOverhead of CPU time from the affected CPU, modelling the
 // tracing overhead the paper quantifies in Table 1.
 func (s *Scheduler) SetTracer(h Hook) { s.tracer = h }
+
+// SetObserver attaches a passive observability recorder. It records
+// scheduling spans and instants in simulated time without stealing any
+// (contrast SetTracer), so a run is byte-identical with or without it.
+func (s *Scheduler) SetObserver(r *obs.Recorder) { s.obs = r }
+
+// Observer returns the attached recorder, nil when observability is off.
+// Runtime layers (omprt, syclrt) emit their region/kernel spans through it.
+func (s *Scheduler) Observer() *obs.Recorder { return s.obs }
+
+// TotalPreemptions sums involuntary context switches over all tasks.
+func (s *Scheduler) TotalPreemptions() uint64 {
+	var n uint64
+	for _, t := range s.tasks {
+		n += uint64(t.Preempted)
+	}
+	return n
+}
+
+// TotalMigrations sums cross-CPU migrations over all tasks.
+func (s *Scheduler) TotalMigrations() uint64 {
+	var n uint64
+	for _, t := range s.tasks {
+		n += uint64(t.Migrations)
+	}
+	return n
+}
 
 // Tasks returns all spawned tasks.
 func (s *Scheduler) Tasks() []*Task { return s.tasks }
@@ -573,6 +606,9 @@ func (s *Scheduler) enqueue(c *cpuState, t *Task) {
 	if s.shouldPreempt(c, t, c.curr) {
 		curr := c.curr
 		curr.Preempted++
+		if s.obs != nil {
+			s.obs.Instant(c.id, "preempt", "sched", curr.Name+" by "+t.Name, s.eng.Now())
+		}
 		s.undispatch(curr, StateRunnable)
 		s.requeue(c, curr)
 		s.resched(c)
@@ -659,6 +695,9 @@ func (s *Scheduler) dispatch(c *cpuState, t *Task) bool {
 	}
 	if migrated {
 		t.Migrations++
+		if s.obs != nil {
+			s.obs.Instant(c.id, "migrate", "sched", t.Name, now)
+		}
 		if s.opt.MigrationCost > 0 {
 			// Cache-warmup penalty: extra demand at the current rate.
 			r := s.currentRate(t)
@@ -864,6 +903,9 @@ func (s *Scheduler) sliceExpire(c *cpuState) {
 		return
 	}
 	t.Preempted++
+	if s.obs != nil {
+		s.obs.Instant(c.id, "slice-expire", "sched", t.Name, s.eng.Now())
+	}
 	s.undispatch(t, StateRunnable)
 	s.seq++
 	t.enqueueSeq = s.seq
@@ -874,6 +916,9 @@ func (s *Scheduler) sliceExpire(c *cpuState) {
 // ---- tracing ----
 
 func (s *Scheduler) emitTaskRun(c *cpuState, t *Task, start, end sim.Time) {
+	if s.obs != nil && end > start {
+		s.obs.Span(c.id, t.Name, t.Kind.String(), t.policy.String(), start, end)
+	}
 	if s.tracer == nil || end <= start {
 		return
 	}

@@ -230,6 +230,9 @@ type Task struct {
 	segDoneFn func()
 	wakeFn    func()
 	bar       *Barrier
+	// barArrive is the simulated instant the task arrived at bar, recorded
+	// only while an obs recorder is attached (it feeds barrier-wait spans).
+	barArrive sim.Time
 	// pendingReq holds a fetched-but-unprocessed request when the task
 	// lost its CPU mid-processing (e.g. preempted by a task woken from a
 	// barrier it just released); it is consumed at the next dispatch.

@@ -3,12 +3,14 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 
 	"repro/internal/mitigate"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -46,6 +48,68 @@ type Executor struct {
 	// OnCell, when non-nil, receives study-level progress: one call per
 	// completed experiment cell (a series, pipeline, or case).
 	OnCell ProgressFunc
+	// Obs, when non-nil, attaches observability to every rep the executor
+	// runs (flight ring always; timeline for rep 0 when requested).
+	Obs *ObsOptions
+}
+
+// ObsOptions configures per-rep observability for an Executor.
+type ObsOptions struct {
+	// Timeline records the full event timeline of rep 0 of each series
+	// (one representative run; recording every rep would multiply memory
+	// for no analysis gain — reps differ only by seed).
+	Timeline bool
+	// Ring is the per-rep flight-ring size (0 = obs.DefaultRing).
+	Ring int
+	// Reg, when non-nil, receives every rep's kernel counters (counter
+	// adds commute, so totals are deterministic under parallelism).
+	Reg *obs.Registry
+	// OnTimeline receives rep 0's recorder after a successful series when
+	// Timeline is set. Called once per series, on the series' goroutine.
+	OnTimeline func(*obs.Recorder)
+	// FlightSink, when non-nil, receives a flight-recorder dump (JSON) for
+	// every failed rep. Dumps are serialized.
+	FlightSink io.Writer
+	// OnFlight, when non-nil, receives the structured form of every failed
+	// rep's flight dump (the daemon retains these for /debug/flightrecorder).
+	// Calls are serialized with FlightSink writes.
+	OnFlight func(obs.Flight)
+}
+
+// parallelEnv is the cached REPRO_PARALLEL resolution. The env var is read
+// and validated once per process instead of on every Workers call; invalid
+// values produce a single stderr warning instead of silently changing the
+// parallelism. Tests reset the Once and swap warnOut.
+var (
+	parallelEnvOnce sync.Once
+	parallelEnvVal  int
+	warnOut         io.Writer = os.Stderr
+)
+
+// parseParallelEnv validates a REPRO_PARALLEL value. It returns the pool
+// size (0 when unset or invalid) and a warning message for invalid values
+// ("" when the value is empty or valid).
+func parseParallelEnv(v string) (n int, warning string) {
+	if v == "" {
+		return 0, ""
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, fmt.Sprintf(
+			"repro: ignoring invalid REPRO_PARALLEL=%q (want a positive integer); using GOMAXPROCS", v)
+	}
+	return n, ""
+}
+
+func parallelFromEnv() int {
+	parallelEnvOnce.Do(func() {
+		n, warning := parseParallelEnv(os.Getenv("REPRO_PARALLEL"))
+		if warning != "" {
+			fmt.Fprintln(warnOut, warning)
+		}
+		parallelEnvVal = n
+	})
+	return parallelEnvVal
 }
 
 // Workers resolves the effective worker-pool size.
@@ -56,10 +120,8 @@ func (e Executor) Workers() int {
 	if e.Parallelism < 0 {
 		return 1
 	}
-	if v := os.Getenv("REPRO_PARALLEL"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+	if n := parallelFromEnv(); n > 0 {
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -83,9 +145,31 @@ func (e Executor) run(ctx context.Context, n int, rep func(i int) error) error {
 		mu       sync.Mutex
 		next     int
 		done     int
+		reported int  // highest done value delivered to OnRep
+		relaying bool // a worker is currently draining OnRep calls
 		firstIdx = -1
 		firstErr error
 	)
+	// notifyDone delivers OnRep(done, n) calls with the pool mutex
+	// RELEASED: a slow or re-entrant callback must never stall the other
+	// workers (or deadlock by re-acquiring the pool). One worker at a time
+	// becomes the relay and drains every undelivered count in order, so
+	// calls stay serialized and strictly monotonic (1..n, each exactly
+	// once). Called with mu held; returns with mu held.
+	notifyDone := func() {
+		if e.OnRep == nil || relaying {
+			return
+		}
+		relaying = true
+		for reported < done {
+			reported++
+			d := reported
+			mu.Unlock()
+			e.OnRep(d, n)
+			mu.Lock()
+		}
+		relaying = false
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -110,9 +194,7 @@ func (e Executor) run(ctx context.Context, n int, rep func(i int) error) error {
 					continue
 				}
 				done++
-				if e.OnRep != nil {
-					e.OnRep(done, n)
-				}
+				notifyDone()
 				mu.Unlock()
 			}
 		}()
@@ -130,18 +212,67 @@ func (e Executor) run(ctx context.Context, n int, rep func(i int) error) error {
 	return nil
 }
 
+// applyObs attaches the executor's per-rep observability options to a rep
+// spec. The recorder is passive, so enabling it cannot change the series'
+// times — only rep 0 keeps a full timeline (reps differ only by seed;
+// recording every rep would multiply memory for no analysis gain).
+func (e Executor) applyObs(s *Spec, i int) {
+	if e.Obs == nil {
+		return
+	}
+	s.Obs = &obs.Options{
+		Timeline: e.Obs.Timeline && i == 0,
+		Ring:     e.Obs.Ring,
+		Reg:      e.Obs.Reg,
+	}
+}
+
+// flightMu serializes flight-recorder dumps across all executors; failures
+// are rare, so one process-wide lock is not a bottleneck.
+var flightMu sync.Mutex
+
+// dumpFlight delivers the failed rep's flight ring to the configured sinks.
+func (e Executor) dumpFlight(i int, rec *obs.Recorder, err error) {
+	if e.Obs == nil || rec == nil || (e.Obs.FlightSink == nil && e.Obs.OnFlight == nil) {
+		return
+	}
+	f := rec.FlightDump(fmt.Sprintf("rep %d", i), err)
+	flightMu.Lock()
+	defer flightMu.Unlock()
+	if e.Obs.FlightSink != nil {
+		_ = obs.WriteFlight(e.Obs.FlightSink, f)
+	}
+	if e.Obs.OnFlight != nil {
+		e.Obs.OnFlight(f)
+	}
+}
+
+// deliverTimeline hands rep 0's recorder to the OnTimeline callback after a
+// successful series.
+func (e Executor) deliverTimeline(rec *obs.Recorder) {
+	if e.Obs != nil && e.Obs.Timeline && e.Obs.OnTimeline != nil && rec != nil {
+		e.Obs.OnTimeline(rec)
+	}
+}
+
 // Series executes reps runs of spec with index-derived seeds and returns
 // the execution times in rep order (and the traces, when spec.Tracing).
 // Output is bit-identical for every parallelism level.
 func (e Executor) Series(ctx context.Context, spec Spec, reps int) ([]sim.Time, []*trace.Trace, error) {
 	times := make([]sim.Time, reps)
 	traces := make([]*trace.Trace, reps)
+	var rec0 *obs.Recorder
 	err := e.run(ctx, reps, func(i int) error {
 		s := spec
 		s.Seed = seedAt(spec.Seed, i)
+		e.applyObs(&s, i)
 		res, err := RunOnce(s)
 		if err != nil {
+			e.dumpFlight(i, res.Obs, err)
 			return err
+		}
+		if i == 0 {
+			rec0 = res.Obs
 		}
 		times[i] = res.ExecTime
 		traces[i] = res.Trace
@@ -150,6 +281,7 @@ func (e Executor) Series(ctx context.Context, spec Spec, reps int) ([]sim.Time, 
 	if err != nil {
 		return nil, nil, err
 	}
+	e.deliverTimeline(rec0)
 	return times[:reps:reps], compactTraces(traces), nil
 }
 
@@ -157,12 +289,18 @@ func (e Executor) Series(ctx context.Context, spec Spec, reps int) ([]sim.Time, 
 // strategy derivation (the thread-count sweeps). Traces are not collected.
 func (e Executor) seriesWithPlan(ctx context.Context, spec Spec, plan *mitigate.Plan, reps int) ([]sim.Time, error) {
 	times := make([]sim.Time, reps)
+	var rec0 *obs.Recorder
 	err := e.run(ctx, reps, func(i int) error {
 		s := spec
 		s.Seed = seedAt(spec.Seed, i)
+		e.applyObs(&s, i)
 		res, err := runOnceWithPlan(s, plan)
 		if err != nil {
+			e.dumpFlight(i, res.Obs, err)
 			return err
+		}
+		if i == 0 {
+			rec0 = res.Obs
 		}
 		times[i] = res.ExecTime
 		return nil
@@ -170,6 +308,7 @@ func (e Executor) seriesWithPlan(ctx context.Context, spec Spec, plan *mitigate.
 	if err != nil {
 		return nil, err
 	}
+	e.deliverTimeline(rec0)
 	return times, nil
 }
 

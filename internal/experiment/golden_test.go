@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"repro/internal/mitigate"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -121,10 +122,15 @@ func (c goldenCase) spec(t *testing.T) Spec {
 		Seed: c.Seed, Tracing: c.Tracing}
 }
 
-// runGoldenCase executes one case at the given parallelism.
-func runGoldenCase(t *testing.T, c goldenCase, parallelism int) goldenRecord {
+// runGoldenCase executes one case at the given parallelism. With withObs the
+// passive observability recorder is attached to every run — the fixture must
+// still match exactly, proving observability cannot perturb the kernel.
+func runGoldenCase(t *testing.T, c goldenCase, parallelism int, withObs bool) goldenRecord {
 	t.Helper()
 	spec := c.spec(t)
+	if withObs {
+		spec.Obs = &obs.Options{Timeline: true}
+	}
 	exec := Executor{Parallelism: parallelism}
 	if c.Inject {
 		pr, err := Pipeline{Spec: spec, CollectRuns: 6, Improved: true, Exec: exec}.Run()
@@ -192,8 +198,8 @@ func TestGoldenKernel(t *testing.T) {
 	for _, c := range goldenCases() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			seq := runGoldenCase(t, c, 1)
-			par := runGoldenCase(t, c, 8)
+			seq := runGoldenCase(t, c, 1, false)
+			par := runGoldenCase(t, c, 8, false)
 			if fmt.Sprint(seq) != fmt.Sprint(par) {
 				t.Fatalf("parallelism changed outputs:\n  p=1: %+v\n  p=8: %+v", seq, par)
 			}
@@ -222,5 +228,40 @@ func TestGoldenKernel(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Logf("wrote %s (%d cases)", goldenPath, len(got))
+	}
+}
+
+// TestGoldenKernelObs re-runs the golden matrix with the observability
+// recorder attached (full timeline on every rep), at parallelism 1 and 8,
+// and demands the outputs still match the fixture byte for byte. The
+// recorder is a passive observer — unlike the tracer, which models its own
+// overhead — so it must be invisible to the simulation.
+func TestGoldenKernelObs(t *testing.T) {
+	if os.Getenv("REPRO_UPDATE_GOLDEN") != "" {
+		t.Skip("fixture is regenerated by TestGoldenKernel (obs must not define the baseline)")
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	var golden map[string]goldenRecord
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			want, ok := golden[c.Name]
+			if !ok {
+				t.Fatalf("case %q missing from golden fixture", c.Name)
+			}
+			for _, parallelism := range []int{1, 8} {
+				got := runGoldenCase(t, c, parallelism, true)
+				if fmt.Sprint(want) != fmt.Sprint(got) {
+					t.Errorf("obs-enabled run diverged from fixture at parallelism %d:\n  want %+v\n  got  %+v",
+						parallelism, want, got)
+				}
+			}
+		})
 	}
 }

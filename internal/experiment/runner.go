@@ -12,6 +12,7 @@ import (
 	"repro/internal/cpusched"
 	"repro/internal/mitigate"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/omprt"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -54,6 +55,10 @@ type Spec struct {
 	// OMP / SYCL override the runtime model configs (nil = defaults).
 	OMP  *omprt.Config
 	SYCL *syclrt.Config
+	// Obs, when non-nil, attaches a passive observability recorder to the
+	// run (spans, flight ring, registry counters). Unlike Tracing it steals
+	// no simulated time: results are byte-identical with or without it.
+	Obs *obs.Options
 }
 
 // Result is the outcome of one execution.
@@ -79,6 +84,10 @@ type Result struct {
 	ContextSwitches   uint64
 	GoroutineHandoffs uint64
 	InlineDispatches  uint64
+	// Obs is the run's observability recorder (nil unless Spec.Obs). On a
+	// deadlock failure it is returned alongside the error so callers can
+	// dump the flight ring.
+	Obs *obs.Recorder
 }
 
 // AbsorbedFraction returns the share of injected noise that landed outside
@@ -116,6 +125,12 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 		sched.SetTracer(tracer)
 	}
 
+	var rec *obs.Recorder
+	if spec.Obs != nil {
+		rec = obs.NewRecorder(*spec.Obs)
+		sched.SetObserver(rec)
+	}
+
 	prof := spec.Platform.Noise
 	if spec.Runlevel3 {
 		prof = prof.WithRunlevel3()
@@ -124,7 +139,7 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 		prof = prof.Scale(spec.NoiseScale)
 	}
 	rng := sim.NewRNG(spec.Seed)
-	noise.Attach(sched, prof, rng.Stream("noise"), noiseHorizon)
+	gen := noise.Attach(sched, prof, rng.Stream("noise"), noiseHorizon)
 
 	var replayer *core.Replayer
 	if spec.Inject != nil {
@@ -153,7 +168,7 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 		q := syclrt.Start(sched, plan, cfg, spec.Workload.Body())
 		done = q.Host()
 	default:
-		return Result{}, fmt.Errorf("experiment: unknown model %q", spec.Model)
+		return Result{Obs: rec}, fmt.Errorf("experiment: unknown model %q", spec.Model)
 	}
 
 	if replayer != nil {
@@ -164,14 +179,21 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 	}
 
 	eng.RunWhile(func() bool { return !done.Done() })
+	if rec != nil {
+		publishRunCounters(rec.Registry(), eng, sched, gen, rec)
+	}
 	if !done.Done() {
-		return Result{}, fmt.Errorf("experiment: workload deadlocked (event queue drained)")
+		// Hand the recorder back with the error: the flight ring holds the
+		// last scheduling events before the queue drained, which is exactly
+		// the evidence a deadlock diagnosis needs.
+		return Result{Obs: rec}, fmt.Errorf("experiment: workload deadlocked (event queue drained)")
 	}
 	res := Result{
 		ExecTime:          eng.Now(),
 		ContextSwitches:   sched.ContextSwitches,
 		GoroutineHandoffs: sched.GoroutineHandoffs,
 		InlineDispatches:  sched.InlineDispatches,
+		Obs:               rec,
 	}
 	if replayer != nil {
 		res.InjectedAll = replayer.Done()
@@ -188,6 +210,27 @@ func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
 			spec.Workload.Name(), spec.Model, spec.Strategy.Name(), spec.Seed)
 	}
 	return res, nil
+}
+
+// publishRunCounters publishes the run's kernel counters to the shared obs
+// registry — the one export path for engine, scheduler, noise, and recorder
+// counters (noiselab -obs and the daemon both render it).
+func publishRunCounters(reg *obs.Registry, eng *sim.Engine, sched *cpusched.Scheduler,
+	gen *noise.Generator, rec *obs.Recorder) {
+	reg.Counter("repro_runs_total", "Completed simulation runs.").Inc()
+	reg.Counter("repro_sim_steps_total", "Engine events processed.").Add(eng.Stats().Steps)
+	reg.Counter("repro_sched_context_switches_total", "Task dispatches.").Add(sched.ContextSwitches)
+	reg.Counter("repro_sched_inline_dispatches_total",
+		"Requests served by inline task programs on the engine thread.").Add(sched.InlineDispatches)
+	reg.Counter("repro_sched_goroutine_handoffs_total",
+		"Requests fetched over the coroutine channel handshake.").Add(sched.GoroutineHandoffs)
+	reg.Counter("repro_sched_preemptions_total", "Involuntary context switches.").Add(sched.TotalPreemptions())
+	reg.Counter("repro_sched_migrations_total", "Cross-CPU task migrations.").Add(sched.TotalMigrations())
+	reg.Counter("repro_noise_tasks_spawned_total", "Noise tasks spawned.").Add(uint64(gen.Spawned))
+	reg.Counter("repro_noise_irqs_total", "Interrupts injected.").Add(uint64(gen.IRQs))
+	reg.Counter("repro_obs_events_total", "Observability events recorded.").Add(rec.Total())
+	reg.Counter("repro_obs_events_dropped_total",
+		"Timeline events dropped by the buffer cap.").Add(rec.Dropped())
 }
 
 // RunSeries executes reps runs with index-derived seeds and returns the

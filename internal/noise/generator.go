@@ -84,17 +84,27 @@ func (g *Generator) diskLoop(rng *sim.RNG) {
 		}
 		if g.p.DiskFlushDur > 0 {
 			work := float64(rng.Jitter(g.p.DiskFlushDur, 0.3)) * cycles
-			g.s.SpawnSeq(cpusched.TaskSpec{
+			t := g.s.SpawnSeq(cpusched.TaskSpec{
 				Name:     "flush",
 				Source:   "kworker/u9:flush-259:0",
 				Kind:     cpusched.KindNoiseThread,
 				Affinity: g.threadAffinity(),
 			}, cpusched.ReqCompute(work))
 			g.Spawned++
+			g.noteSpawn(t, "kworker/u9:flush-259:0")
 		}
 		eng.After(sim.Time(rng.ExpFloat64(g.p.DiskRate)*1e9), next)
 	}
 	eng.After(sim.Time(rng.ExpFloat64(g.p.DiskRate)*1e9), next)
+}
+
+// noteSpawn emits a noise-spawn instant when an observer is attached. The
+// task's CPU is already placed by wake-up at this point, so the instant
+// lands on the row where the burst will first run.
+func (g *Generator) noteSpawn(t *cpusched.Task, source string) {
+	if rec := g.s.Observer(); rec != nil {
+		rec.Instant(t.CPU(), "noise-spawn", "noise", source, g.s.Now())
+	}
 }
 
 func (g *Generator) threadAllowedOn(cpu int) bool {
@@ -180,13 +190,14 @@ func (g *Generator) kworkerLoop(cpu int, rng *sim.RNG) {
 			dur = sim.Microsecond
 		}
 		work := float64(dur) * cycles
-		g.s.SpawnSeq(cpusched.TaskSpec{
+		t := g.s.SpawnSeq(cpusched.TaskSpec{
 			Name:     "kworker",
 			Source:   src,
 			Kind:     cpusched.KindNoiseThread,
 			Affinity: aff,
 		}, cpusched.ReqCompute(work))
 		g.Spawned++
+		g.noteSpawn(t, src)
 		gap := sim.Time(rng.ExpFloat64(g.p.KworkerRate) * 1e9)
 		eng.After(gap, next)
 	}
@@ -217,13 +228,14 @@ func (g *Generator) unboundLoop(rng *sim.RNG) {
 			dur = sim.Microsecond
 		}
 		work := float64(dur) * cycles
-		g.s.SpawnSeq(cpusched.TaskSpec{
+		t := g.s.SpawnSeq(cpusched.TaskSpec{
 			Name:     "kworker-u",
 			Source:   srcs[id%8],
 			Kind:     cpusched.KindNoiseThread,
 			Affinity: aff,
 		}, cpusched.ReqCompute(work))
 		g.Spawned++
+		g.noteSpawn(t, srcs[id%8])
 		eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
 	}
 	eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
@@ -265,13 +277,14 @@ func (g *Generator) daemonLoop(rng *sim.RNG, sources []string, rate float64,
 					reqs = append(reqs, cpusched.ReqSleep(sim.Time(stint/2)))
 				}
 			}
-			g.s.SpawnSeq(cpusched.TaskSpec{
+			t := g.s.SpawnSeq(cpusched.TaskSpec{
 				Name:     label,
 				Source:   src,
 				Kind:     cpusched.KindNoiseThread,
 				Affinity: aff,
 			}, reqs...)
 			g.Spawned++
+			g.noteSpawn(t, src)
 		}
 		eng.After(sim.Time(rng.ExpFloat64(rate)*1e9), next)
 	}

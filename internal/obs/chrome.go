@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome Trace Event Format export: a recorded timeline opens directly in
+// chrome://tracing or https://ui.perfetto.dev, one timeline row per
+// logical CPU. Timestamps are simulated microseconds.
+
+// chromeEvent is one event in the Trace Event Format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeJSON renders events as a Trace Event Format JSON array, with
+// per-CPU thread_name metadata rows. Events are ordered by (start, emission
+// order), which is deterministic because recording order is.
+func WriteChromeJSON(w io.Writer, events []Event) error {
+	idx := make([]int, len(events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return events[idx[a]].Start < events[idx[b]].Start
+	})
+	cpus := make([]int, 0, 8)
+	seen := make(map[int]bool, 8)
+	for _, e := range events {
+		if !seen[e.CPU] {
+			seen[e.CPU] = true
+			cpus = append(cpus, e.CPU)
+		}
+	}
+	sort.Ints(cpus)
+	out := make([]any, 0, len(events)+len(cpus))
+	for _, cpu := range cpus {
+		out = append(out, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 0, "tid": cpu,
+			"args": map[string]string{"name": fmt.Sprintf("cpu %d", cpu)},
+		})
+	}
+	for _, i := range idx {
+		e := events[i]
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(rune(e.Phase)),
+			TS:   float64(e.Start) / 1e3,
+			PID:  0,
+			TID:  e.CPU,
+		}
+		if e.Phase == PhaseSpan {
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.S = "t" // thread-scoped instant marker
+		}
+		if e.Arg != "" {
+			ce.Args = map[string]string{"arg": e.Arg}
+		}
+		out = append(out, ce)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteChromeJSON exports the recorder's timeline (see the package-level
+// function). It fails when the recorder was created without
+// Options.Timeline, since the export would silently be near-empty.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	if !r.keep {
+		return fmt.Errorf("obs: recorder has no timeline (Options.Timeline was false)")
+	}
+	return WriteChromeJSON(w, r.timeline)
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Flight is a flight-recorder dump: the most recent scheduling events of
+// one run, captured when a rep fails (or on demand via the daemon's
+// /debug/flightrecorder endpoint). Events are oldest-first.
+type Flight struct {
+	// Label identifies the run ("rep 3 of nbody/omp/Rm", a job id).
+	Label string `json:"label"`
+	// Err is the failure that triggered the dump, empty for on-demand dumps.
+	Err string `json:"error,omitempty"`
+	// Total is how many events the run emitted in all; the ring holds only
+	// the tail.
+	Total  uint64  `json:"total_events"`
+	Events []Event `json:"events"`
+}
+
+// FlightDump captures the recorder's ring into a Flight.
+func (r *Recorder) FlightDump(label string, err error) Flight {
+	f := Flight{Label: label, Total: r.total, Events: r.Recent()}
+	if err != nil {
+		f.Err = err.Error()
+	}
+	return f
+}
+
+// WriteFlight writes the dump as indented JSON.
+func WriteFlight(w io.Writer, f Flight) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,172 @@
+// Package obs is the simulator's observability layer: a span tracer keyed
+// to simulated time, a bounded flight recorder, and a counter/gauge/
+// histogram registry shared by the CLI and the daemon.
+//
+// Unlike the osnoise-style tracer (internal/trace.Tracer attached via
+// cpusched.SetTracer), which deliberately steals simulated CPU time per
+// recorded event to model the paper's Table 1 tracing overhead, an obs
+// Recorder is a purely passive observer: attaching one never changes a
+// single scheduling decision or timestamp, so simulation outputs are
+// byte-identical with observability on or off. The golden-fixture tests in
+// internal/experiment pin that property.
+//
+// A Recorder is owned by one simulation run and, like the engine it
+// observes, is not safe for concurrent use. The Registry is safe for
+// concurrent use (the daemon updates it from request handlers).
+package obs
+
+import "repro/internal/sim"
+
+// Phase classifies an event, mirroring the Chrome Trace Event Format
+// phase letters.
+type Phase byte
+
+const (
+	// PhaseSpan is a complete interval ("X"): a task occupying a CPU, an
+	// interrupt, a barrier wait.
+	PhaseSpan Phase = 'X'
+	// PhaseInstant is a point event ("i"): a preemption, a migration, a
+	// noise spawn.
+	PhaseInstant Phase = 'i'
+)
+
+// Event is one observed scheduling event in simulated time. Fields are
+// primitives only so recording an event is a struct copy, never an
+// allocation.
+type Event struct {
+	// Start is the simulated begin instant (the instant itself for
+	// PhaseInstant); Dur is the span length, 0 for instants.
+	Start sim.Time `json:"start_ns"`
+	Dur   sim.Time `json:"dur_ns,omitempty"`
+	Phase Phase    `json:"phase"`
+	// CPU is the logical CPU the event is attributed to.
+	CPU int `json:"cpu"`
+	// Name identifies the event ("nbody-w3", "preempt", "barrier-wait");
+	// Cat groups it for trace viewers ("workload", "sched", "irq_noise");
+	// Arg carries one free-form detail (source, victim, policy).
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Arg  string `json:"arg,omitempty"`
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultRing      = 256
+	DefaultMaxEvents = 1 << 20
+)
+
+// Options configures a Recorder.
+type Options struct {
+	// Timeline keeps the full event stream for Chrome-trace export. When
+	// false only the flight ring is maintained.
+	Timeline bool
+	// Ring is the flight-recorder capacity in events (0 = DefaultRing).
+	Ring int
+	// MaxEvents caps the timeline buffer; excess events are counted in
+	// Dropped instead of stored (0 = DefaultMaxEvents).
+	MaxEvents int
+	// Reg, when non-nil, is the registry run-level counters are published
+	// to; a Recorder created with a nil Reg gets its own.
+	Reg *Registry
+}
+
+// Recorder collects events from one simulation run: optionally the full
+// timeline, and always a bounded ring of the most recent events (the
+// flight recorder, dumped when a rep fails). It is not safe for concurrent
+// use; the simulation engine is single-threaded and task bodies only run
+// while the engine thread is parked, so all emission sites are serialized.
+type Recorder struct {
+	timeline  []Event
+	keep      bool
+	maxEvents int
+	dropped   uint64
+
+	ring     []Event
+	ringNext int
+	ringLen  int
+
+	total uint64
+	reg   *Registry
+}
+
+// NewRecorder creates a recorder with the given options.
+func NewRecorder(opt Options) *Recorder {
+	ring := opt.Ring
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	maxEv := opt.MaxEvents
+	if maxEv <= 0 {
+		maxEv = DefaultMaxEvents
+	}
+	reg := opt.Reg
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Recorder{
+		keep:      opt.Timeline,
+		maxEvents: maxEv,
+		ring:      make([]Event, ring),
+		reg:       reg,
+	}
+}
+
+// Registry returns the registry run-level counters are published to.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Span records a complete interval [start, end) on a CPU.
+func (r *Recorder) Span(cpu int, name, cat, arg string, start, end sim.Time) {
+	if end < start {
+		return
+	}
+	r.add(Event{Start: start, Dur: end - start, Phase: PhaseSpan,
+		CPU: cpu, Name: name, Cat: cat, Arg: arg})
+}
+
+// Instant records a point event at simulated time at.
+func (r *Recorder) Instant(cpu int, name, cat, arg string, at sim.Time) {
+	r.add(Event{Start: at, Phase: PhaseInstant, CPU: cpu, Name: name,
+		Cat: cat, Arg: arg})
+}
+
+func (r *Recorder) add(ev Event) {
+	r.total++
+	r.ring[r.ringNext] = ev
+	r.ringNext++
+	if r.ringNext == len(r.ring) {
+		r.ringNext = 0
+	}
+	if r.ringLen < len(r.ring) {
+		r.ringLen++
+	}
+	if !r.keep {
+		return
+	}
+	if len(r.timeline) >= r.maxEvents {
+		r.dropped++
+		return
+	}
+	r.timeline = append(r.timeline, ev)
+}
+
+// Total returns how many events were emitted to the recorder.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped returns how many timeline events were discarded by MaxEvents.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Events returns the recorded timeline in emission order (empty unless
+// Options.Timeline). The slice is the recorder's own; do not mutate it.
+func (r *Recorder) Events() []Event { return r.timeline }
+
+// Recent returns a copy of the flight ring in emission order: the most
+// recent events, oldest first.
+func (r *Recorder) Recent() []Event {
+	out := make([]Event, 0, r.ringLen)
+	if r.ringLen == len(r.ring) {
+		out = append(out, r.ring[r.ringNext:]...)
+		out = append(out, r.ring[:r.ringNext]...)
+		return out
+	}
+	return append(out, r.ring[:r.ringLen]...)
+}

@@ -104,6 +104,9 @@ type Team struct {
 	endBar   *cpusched.Barrier
 	loop     *loopState
 	stop     bool
+	// regions counts parallel regions for obs span naming (only advanced
+	// while an observer is attached).
+	regions int
 
 	cyclesPerNs float64
 
@@ -178,15 +181,27 @@ func (t *Team) ParallelFor(n int, cost func(int) parmodel.Cost) {
 		panic("omprt: negative trip count")
 	}
 	t.loop = &loopState{n: n, cost: cost}
+	// Observability only reads the clock (safe from the body goroutine,
+	// like Ctx.Now): the region span steals no simulated time.
+	rec := t.s.Observer()
+	var regionStart sim.Time
+	if rec != nil {
+		regionStart = t.masterCtx.Now()
+		t.regions++
+	}
 	// Region fork: master-side setup work.
 	t.masterCtx.Compute(float64(t.cfg.ForkOverhead) * t.cyclesPerNs)
 	if t.plan.Threads == 1 {
 		t.runChunks(t.masterCtx, 0)
-		return
+	} else {
+		t.masterCtx.Barrier(t.startBar, false) // releases parked workers
+		t.runChunks(t.masterCtx, 0)
+		t.masterCtx.Barrier(t.endBar, t.cfg.ActiveWait)
 	}
-	t.masterCtx.Barrier(t.startBar, false) // releases parked workers
-	t.runChunks(t.masterCtx, 0)
-	t.masterCtx.Barrier(t.endBar, t.cfg.ActiveWait)
+	if rec != nil {
+		rec.Span(t.masterCtx.CPU(), fmt.Sprintf("parallel-region-%d", t.regions),
+			"omp", t.cfg.Schedule.String(), regionStart, t.masterCtx.Now())
+	}
 }
 
 // workerProgram is the worker thread's loop as an inline scheduler

@@ -110,6 +110,14 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
+// DerivedKey returns the cache key for an artifact derived from the entry at
+// base — e.g. a job's exported timeline stored alongside its result
+// (DerivedKey(hash, "tl")). The separator keeps derived keys valid (hex
+// digests never contain '-') and collision-free with primary keys.
+func DerivedKey(base, suffix string) string {
+	return base + "-" + suffix
+}
+
 // validateKey rejects keys that could escape the cache directory; keys are
 // hex digests in practice.
 func validateKey(key string) error {

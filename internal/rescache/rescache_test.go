@@ -316,3 +316,30 @@ func TestManyKeysConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDerivedKey: derived keys must be valid cache keys, distinct from the
+// base, and round-trip through both tiers like any other entry.
+func TestDerivedKey(t *testing.T) {
+	base := "0123abcd"
+	k := DerivedKey(base, "tl")
+	if k == base {
+		t.Fatal("derived key collides with base")
+	}
+	if err := validateKey(k); err != nil {
+		t.Fatalf("derived key invalid: %v", err)
+	}
+	c, err := New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, []byte("timeline")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || string(got) != "timeline" {
+		t.Fatalf("derived entry: %q ok=%v", got, ok)
+	}
+	if _, ok := c.Get(base); ok {
+		t.Fatal("derived entry leaked into the base key")
+	}
+}

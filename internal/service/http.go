@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -12,8 +13,12 @@ import (
 //	                           served from cache at submit time)
 //	GET    /v1/jobs/{id}       poll status
 //	GET    /v1/jobs/{id}/result fetch the stored result payload verbatim
+//	GET    /v1/jobs/{id}/timeline fetch the Chrome trace-event timeline
+//	                           (specs submitted with "timeline": true)
 //	DELETE /v1/jobs/{id}       cancel
-//	GET    /metrics            Prometheus text metrics
+//	GET    /metrics            Prometheus text metrics (?format=json for the
+//	                           JSON rendering of the same registries)
+//	GET    /debug/flightrecorder recent flight-recorder dumps of failed reps
 //	GET    /healthz            liveness
 //
 // Malformed specs get 400, unknown jobs 404, a full queue 503 with
@@ -25,8 +30,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -112,7 +119,57 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": r.PathValue("id"), "state": string(state)})
 }
 
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	data, state, ok := s.Timeline(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	switch {
+	case state == StateDone && data != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case state == StateDone:
+		httpError(w, http.StatusNotFound, "no timeline recorded (submit with \"timeline\": true)")
+	case state.Terminal():
+		httpError(w, http.StatusConflict, "job "+string(state)+", no timeline")
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusAccepted, "job "+string(state))
+	}
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.FlightDumps())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.writeMetricsJSON(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.Metrics().render(w)
+	// The kernel counters accumulated across job executions (repro_*
+	// families) follow the service families.
+	s.runReg.WritePrometheus(w)
+}
+
+// writeMetricsJSON renders the service snapshot plus both registries (the
+// service families and the kernel's repro_* families) as one JSON document.
+func (s *Server) writeMetricsJSON(w http.ResponseWriter) {
+	var svc, kernel bytes.Buffer
+	if err := s.met.reg.WriteJSON(&svc); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err := s.runReg.WriteJSON(&kernel); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot": s.Metrics(),
+		"service":  json.RawMessage(svc.Bytes()),
+		"kernel":   json.RawMessage(kernel.Bytes()),
+	})
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/internal/stats"
 )
@@ -72,6 +74,10 @@ type Config struct {
 	JobTimeout time.Duration
 	// MaxReps rejects specs with more repetitions (default 100000).
 	MaxReps int
+	// FlightRing is the per-rep flight-recorder ring size (0 = the obs
+	// package default). The ring is always armed: when a rep fails, its
+	// last scheduling events are retained for GET /debug/flightrecorder.
+	FlightRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,12 +99,44 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// flightKeep bounds how many flight dumps the server retains for
+// /debug/flightrecorder (newest win).
+const flightKeep = 16
+
+// flightLog retains the most recent flight-recorder dumps from failed reps.
+type flightLog struct {
+	mu    sync.Mutex
+	dumps []obs.Flight
+}
+
+func (l *flightLog) add(f obs.Flight) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dumps = append(l.dumps, f)
+	if n := len(l.dumps); n > flightKeep {
+		l.dumps = append(l.dumps[:0], l.dumps[n-flightKeep:]...)
+	}
+}
+
+func (l *flightLog) list() []obs.Flight {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Non-nil even when empty so the debug endpoint serves [] rather
+	// than null.
+	return append([]obs.Flight{}, l.dumps...)
+}
+
 // Server owns the job queue, the worker pool, and the result cache. Create
 // with New, serve its Handler, and stop with Drain (graceful) or Close.
 type Server struct {
 	cfg   Config
 	cache *rescache.Cache
 	met   *metrics
+	// runReg accumulates the simulation kernel's counters across every job
+	// execution (repro_* families); rendered after the service families on
+	// /metrics.
+	runReg  *obs.Registry
+	flights *flightLog
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -110,6 +148,11 @@ type Server struct {
 	draining bool
 
 	workers sync.WaitGroup
+
+	// testHookJobUpdate, when non-nil, is called after every job state
+	// transition (with the server mutex released). Tests use it to wait on
+	// state changes without wall-clock polling. Set it before submitting.
+	testHookJobUpdate func(id string, state JobState)
 }
 
 // New builds a Server and starts its workers.
@@ -121,7 +164,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg: cfg, cache: cache, met: &metrics{},
+		cfg: cfg, cache: cache, met: newMetrics(nil),
+		runReg: obs.NewRegistry(), flights: &flightLog{},
 		baseCtx: ctx, baseCancel: cancel,
 		jobs:  make(map[string]*Job),
 		queue: make(chan *Job, cfg.QueueSize),
@@ -141,6 +185,14 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns a snapshot of the service and cache counters.
 func (s *Server) Metrics() Snapshot {
 	return s.met.snapshot(len(s.queue), s.cache.Stats())
+}
+
+// notifyUpdate reports a job state transition to the test hook. Call with
+// the server mutex released.
+func (s *Server) notifyUpdate(id string, state JobState) {
+	if s.testHookJobUpdate != nil {
+		s.testHookJobUpdate(id, state)
+	}
 }
 
 // errDraining rejects submissions during shutdown.
@@ -165,7 +217,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.met.count(&s.met.rejected)
+		s.met.rejected.Inc()
 		return nil, errDraining
 	}
 	s.nextID++
@@ -178,7 +230,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
-	s.met.count(&s.met.submitted)
+	s.met.submitted.Inc()
 
 	// Fast path: a cached result completes the job at submit time.
 	if data, ok := s.cache.Get(hash); ok {
@@ -191,22 +243,26 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		s.met.jobStarted()
 		s.met.jobFinished(StateDone, true, 0)
+		s.notifyUpdate(job.ID, StateDone)
 		return job, nil
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining { // re-check: Drain may have closed the queue meanwhile
 		delete(s.jobs, job.ID)
-		s.met.count(&s.met.rejected)
+		s.mu.Unlock()
+		s.met.rejected.Inc()
 		return nil, errDraining
 	}
 	select {
 	case s.queue <- job:
+		s.mu.Unlock()
+		s.notifyUpdate(job.ID, StateQueued)
 		return job, nil
 	default:
 		delete(s.jobs, job.ID)
-		s.met.count(&s.met.rejected)
+		s.mu.Unlock()
+		s.met.rejected.Inc()
 		return nil, errQueueFull
 	}
 }
@@ -241,6 +297,29 @@ func (s *Server) Result(id string) ([]byte, JobState, bool) {
 	return j.result, j.State, true
 }
 
+// Timeline returns the stored Chrome-trace timeline of a job. found reports
+// whether the job exists; data is nil when the job is not done yet or never
+// recorded a timeline (spec without "timeline": true).
+func (s *Server) Timeline(id string) (data []byte, state JobState, found bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, "", false
+	}
+	state, hash := j.State, j.Hash
+	s.mu.Unlock()
+	if state != StateDone {
+		return nil, state, true
+	}
+	data, _ = s.cache.Get(rescache.DerivedKey(hash, "tl"))
+	return data, state, true
+}
+
+// FlightDumps returns the retained flight-recorder dumps of failed reps,
+// oldest first.
+func (s *Server) FlightDumps() []obs.Flight { return s.flights.list() }
+
 // Cancel cancels a queued or running job. Canceling a terminal job is a
 // no-op; the returned state is the job's state after the call.
 func (s *Server) Cancel(id string) (JobState, bool) {
@@ -251,11 +330,13 @@ func (s *Server) Cancel(id string) (JobState, bool) {
 		return "", false
 	}
 	var cancel context.CancelFunc
+	canceledQueued := false
 	switch j.State {
 	case StateQueued:
 		j.State = StateCanceled
 		j.Finished = time.Now()
-		s.met.count(&s.met.canceled)
+		s.met.canceled.Inc()
+		canceledQueued = true
 	case StateRunning:
 		cancel = j.cancel
 	}
@@ -263,6 +344,9 @@ func (s *Server) Cancel(id string) (JobState, bool) {
 	s.mu.Unlock()
 	if cancel != nil {
 		cancel()
+	}
+	if canceledQueued {
+		s.notifyUpdate(id, StateCanceled)
 	}
 	return state, true
 }
@@ -282,9 +366,10 @@ func (s *Server) runJob(job *Job) {
 	job.cancel = cancel
 	s.mu.Unlock()
 	s.met.jobStarted()
+	s.notifyUpdate(job.ID, StateRunning)
 
 	data, hit, err := s.cache.GetOrCompute(ctx, job.Hash, func(ctx context.Context) ([]byte, error) {
-		s.met.count(&s.met.executions)
+		s.met.executions.Inc()
 		return s.execute(ctx, job)
 	})
 
@@ -310,6 +395,7 @@ func (s *Server) runJob(job *Job) {
 	latency := job.Finished.Sub(job.Started).Seconds()
 	s.mu.Unlock()
 	s.met.jobFinished(state, cached, latency)
+	s.notifyUpdate(job.ID, state)
 }
 
 // execute runs the series on the engine and encodes the result payload.
@@ -318,10 +404,30 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	exec := experiment.Executor{Parallelism: s.cfg.Parallelism}
+	// Observability is always armed: the recorder is passive (results stay
+	// byte-identical), the flight ring captures the last scheduling events of
+	// any failing rep, and the kernel counters accumulate on the server
+	// registry. The full timeline is recorded only when the spec asks.
+	var timeline bytes.Buffer
+	exec := experiment.Executor{Parallelism: s.cfg.Parallelism, Obs: &experiment.ObsOptions{
+		Timeline: job.Spec.Timeline,
+		Ring:     s.cfg.FlightRing,
+		Reg:      s.runReg,
+		OnFlight: s.flights.add,
+		OnTimeline: func(rec *obs.Recorder) {
+			_ = rec.WriteChromeJSON(&timeline)
+		},
+	}}
 	times, traces, err := exec.Series(ctx, spec, job.Spec.Reps)
 	if err != nil {
 		return nil, err
+	}
+	if timeline.Len() > 0 {
+		// Store the timeline as a derived entry next to the result: a later
+		// cache hit for this spec can still serve its timeline.
+		if err := s.cache.Put(rescache.DerivedKey(job.Hash, "tl"), timeline.Bytes()); err != nil {
+			return nil, fmt.Errorf("service: storing timeline: %w", err)
+		}
 	}
 	res := JobResult{
 		SpecHash:     job.Hash,

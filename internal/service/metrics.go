@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/internal/stats"
 )
@@ -14,21 +15,58 @@ import (
 // quantiles; older samples are overwritten ring-buffer style.
 const latencyWindow = 4096
 
-// metrics aggregates service-level counters. Cache-tier counters live in
-// rescache and are merged into the rendered output.
-type metrics struct {
-	mu         sync.Mutex
-	submitted  uint64
-	done       uint64
-	failed     uint64
-	canceled   uint64
-	rejected   uint64
-	executions uint64
-	cacheHits  uint64
-	inflight   int
+// latencyBounds are the histogram bucket boundaries (seconds) for the
+// registry's job-latency histogram.
+var latencyBounds = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120}
 
+// metrics aggregates service-level counters on an obs.Registry — the same
+// counter/gauge/histogram machinery the simulation kernel publishes through —
+// instead of the ad-hoc struct it used to carry. The registry is the source
+// of truth; Snapshot and the text render read the live values. Cache-tier
+// counters live in rescache and are merged into the rendered output.
+//
+// The latency ring is kept alongside the histogram because the /metrics
+// contract exposes exact p50/p99 over the recent window, which a fixed-bucket
+// histogram cannot reproduce.
+type metrics struct {
+	reg *obs.Registry
+
+	submitted  *obs.Counter
+	done       *obs.Counter
+	failed     *obs.Counter
+	canceled   *obs.Counter
+	rejected   *obs.Counter
+	executions *obs.Counter
+	cacheHits  *obs.Counter
+	inflight   *obs.Gauge
+	latency    *obs.Histogram
+
+	mu      sync.Mutex
 	latSecs []float64
 	latNext int
+}
+
+// newMetrics registers the service families on reg (a fresh registry when
+// nil).
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		reg:       reg,
+		submitted: reg.Counter("noiselabd_jobs_submitted_total", "Jobs accepted for execution."),
+		done:      reg.Counter(`noiselabd_jobs_total{state="done"}`, "Jobs by terminal state."),
+		failed:    reg.Counter(`noiselabd_jobs_total{state="failed"}`, "Jobs by terminal state."),
+		canceled:  reg.Counter(`noiselabd_jobs_total{state="canceled"}`, "Jobs by terminal state."),
+		rejected:  reg.Counter("noiselabd_jobs_rejected_total", "Submissions rejected (queue full or draining)."),
+		executions: reg.Counter("noiselabd_executions_total",
+			"Engine executions (cache misses that ran)."),
+		cacheHits: reg.Counter("noiselabd_cache_hits_total",
+			"Jobs served without an engine execution."),
+		inflight: reg.Gauge("noiselabd_jobs_inflight", "Jobs currently executing."),
+		latency: reg.Histogram("noiselabd_job_latency_hist_seconds",
+			"Job wall latency distribution.", latencyBounds),
+	}
 }
 
 // Snapshot is a point-in-time copy of the service counters, exposed for
@@ -47,27 +85,28 @@ type Snapshot struct {
 }
 
 func (m *metrics) jobStarted() {
-	m.mu.Lock()
-	m.inflight++
-	m.mu.Unlock()
+	m.inflight.Add(1)
 }
 
-// jobFinished records a terminal state and the job's wall latency.
+// jobFinished records a terminal state and the job's wall latency. The
+// inflight gauge saturates at zero: a spurious double-finish (the bug class
+// this clamp guards) must not drive it negative.
 func (m *metrics) jobFinished(state JobState, cached bool, latencySecs float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.inflight--
+	m.inflight.AddFloor(-1, 0)
 	switch state {
 	case StateDone:
-		m.done++
+		m.done.Inc()
 	case StateFailed:
-		m.failed++
+		m.failed.Inc()
 	case StateCanceled:
-		m.canceled++
+		m.canceled.Inc()
 	}
 	if cached {
-		m.cacheHits++
+		m.cacheHits.Inc()
 	}
+	m.latency.Observe(latencySecs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.latSecs) < latencyWindow {
 		m.latSecs = append(m.latSecs, latencySecs)
 	} else {
@@ -76,28 +115,30 @@ func (m *metrics) jobFinished(state JobState, cached bool, latencySecs float64) 
 	}
 }
 
-func (m *metrics) count(field *uint64) {
+// quantiles computes p50/p99 over a sorted COPY of the latency ring. The
+// ring itself must never be sorted in place: it is insertion-ordered, and
+// sorting it would corrupt the overwrite position (latNext) so the window
+// would stop being "most recent".
+func (m *metrics) quantiles() (p50, p99 float64) {
 	m.mu.Lock()
-	*field++
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	if len(m.latSecs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), m.latSecs...)
+	sort.Float64s(sorted)
+	return stats.Quantile(sorted, 0.50), stats.Quantile(sorted, 0.99)
 }
 
 // snapshot merges the service counters with the cache tier's.
 func (m *metrics) snapshot(queueDepth int, cache rescache.Stats) Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Snapshot{
-		Submitted: m.submitted, Done: m.done, Failed: m.failed,
-		Canceled: m.canceled, Rejected: m.rejected,
-		Executions: m.executions, CacheHits: m.cacheHits,
-		InFlight: m.inflight, QueueDepth: queueDepth, Cache: cache,
+		Submitted: m.submitted.Value(), Done: m.done.Value(), Failed: m.failed.Value(),
+		Canceled: m.canceled.Value(), Rejected: m.rejected.Value(),
+		Executions: m.executions.Value(), CacheHits: m.cacheHits.Value(),
+		InFlight: int(m.inflight.Value()), QueueDepth: queueDepth, Cache: cache,
 	}
-	if len(m.latSecs) > 0 {
-		sorted := append([]float64(nil), m.latSecs...)
-		sort.Float64s(sorted)
-		s.LatencyP50 = stats.Quantile(sorted, 0.50)
-		s.LatencyP99 = stats.Quantile(sorted, 0.99)
-	}
+	s.LatencyP50, s.LatencyP99 = m.quantiles()
 	return s
 }
 

@@ -4,6 +4,10 @@ package service
 // contract: submit → poll → fetch, cache hits served byte-identical without
 // re-execution, cancellation mid-run, malformed-spec 400s, and the
 // graceful-shutdown drain. The whole file runs under -race in CI.
+//
+// State transitions are observed through the server's job-update test hook
+// (condition-based waiting), not by polling status over wall-clock sleeps —
+// the hook fires on every transition, so the tests are not timing-sensitive.
 
 import (
 	"bytes"
@@ -12,17 +16,93 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// newTestServer builds a Server plus its httptest frontend.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// liveServers tracks every server the tests create so TestMain can dump
+// their flight-recorder rings if the package fails — CI uploads the file
+// as an artifact to make scheduling-level failure forensics possible
+// without a rerun.
+var liveServers struct {
+	sync.Mutex
+	srvs []*Server
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code != 0 {
+		var dumps []obs.Flight
+		liveServers.Lock()
+		for _, s := range liveServers.srvs {
+			dumps = append(dumps, s.FlightDumps()...)
+		}
+		liveServers.Unlock()
+		if data, err := json.MarshalIndent(dumps, "", "  "); err == nil {
+			_ = os.WriteFile("flightrecorder-dump.json", data, 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+// jobWatcher turns the server's testHookJobUpdate callbacks into
+// condition-based waiting: await blocks on a channel that is pulsed on every
+// state transition, so no test spins on wall-clock polls.
+type jobWatcher struct {
+	mu     chan struct{} // 1-buffered semaphore (usable from the hook)
+	last   map[string]JobState
+	change chan struct{} // closed and replaced on every update
+}
+
+func newJobWatcher(srv *Server) *jobWatcher {
+	w := &jobWatcher{
+		mu:     make(chan struct{}, 1),
+		last:   make(map[string]JobState),
+		change: make(chan struct{}),
+	}
+	w.mu <- struct{}{}
+	srv.testHookJobUpdate = func(id string, state JobState) {
+		<-w.mu
+		w.last[id] = state
+		close(w.change)
+		w.change = make(chan struct{})
+		w.mu <- struct{}{}
+	}
+	return w
+}
+
+// await blocks until pred holds for the job's last observed state and
+// returns that state. It fails the test after a generous deadline — reached
+// only when the transition genuinely never happens.
+func (w *jobWatcher) await(t *testing.T, id string, pred func(JobState) bool) JobState {
+	t.Helper()
+	timeout := time.After(120 * time.Second)
+	for {
+		<-w.mu
+		st, ok := w.last[id]
+		ch := w.change
+		w.mu <- struct{}{}
+		if ok && pred(st) {
+			return st
+		}
+		select {
+		case <-ch:
+		case <-timeout:
+			t.Fatalf("job %s: timed out waiting for state change (last %q)", id, st)
+		}
+	}
+}
+
+// newTestServer builds a Server plus its httptest frontend and state watcher.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *jobWatcher) {
 	t.Helper()
 	if cfg.CacheDir == "" {
 		cfg.CacheDir = t.TempDir()
@@ -37,12 +117,16 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	liveServers.Lock()
+	liveServers.srvs = append(liveServers.srvs, srv)
+	liveServers.Unlock()
+	w := newJobWatcher(srv)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		srv.Close()
 	})
-	return srv, ts
+	return srv, ts, w
 }
 
 // tinySpec is a fast deterministic spec for tests.
@@ -81,28 +165,21 @@ func submit(t *testing.T, ts *httptest.Server, spec JobSpec, want ...int) JobSta
 	return st
 }
 
-// waitTerminal polls status until the job finishes.
-func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+// waitTerminal blocks on the watcher until the job finishes, then fetches
+// the final status over the API.
+func waitTerminal(t *testing.T, ts *httptest.Server, w *jobWatcher, id string) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(90 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var st JobStatus
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if st.State.Terminal() {
-			return st
-		}
-		time.Sleep(5 * time.Millisecond)
+	w.await(t, id, JobState.Terminal)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("job %s never reached a terminal state", id)
-	return JobStatus{}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
 }
 
 // fetchResult downloads the raw result payload.
@@ -121,12 +198,12 @@ func fetchResult(t *testing.T, ts *httptest.Server, id string) []byte {
 }
 
 func TestSubmitPollFetch(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, w := newTestServer(t, Config{})
 	st := submit(t, ts, tinySpec(7, 10), http.StatusAccepted)
 	if st.ID == "" || st.SpecHash == "" {
 		t.Fatalf("submit status incomplete: %+v", st)
 	}
-	st = waitTerminal(t, ts, st.ID)
+	st = waitTerminal(t, ts, w, st.ID)
 	if st.State != StateDone {
 		t.Fatalf("job state %s (err %q), want done", st.State, st.Error)
 	}
@@ -153,11 +230,11 @@ func TestSubmitPollFetch(t *testing.T) {
 // re-running the engine, byte-identical to the first execution, and
 // /metrics reports the hit.
 func TestCacheHitByteIdentical(t *testing.T) {
-	srv, ts := newTestServer(t, Config{})
+	srv, ts, w := newTestServer(t, Config{})
 	spec := tinySpec(11, 12)
 
 	first := submit(t, ts, spec, http.StatusAccepted)
-	st1 := waitTerminal(t, ts, first.ID)
+	st1 := waitTerminal(t, ts, w, first.ID)
 	if st1.State != StateDone || st1.Cached {
 		t.Fatalf("first run: %+v", st1)
 	}
@@ -188,7 +265,8 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		t.Fatalf("cache hit re-ran the engine: executions %d -> %d", execsAfterFirst, got)
 	}
 
-	// /metrics must report the hit.
+	// /metrics must report the hit, plus the kernel counters the executions
+	// published through the shared obs registry.
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +278,8 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		"noiselabd_cache_hits_total 1",
 		"noiselabd_executions_total 1",
 		"noiselabd_jobs_total{state=\"done\"} 2",
+		"repro_runs_total 12",
+		"repro_sched_context_switches_total ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, text)
@@ -214,12 +294,12 @@ func TestCacheHitByteIdentical(t *testing.T) {
 // the persisted bytes without executing.
 func TestCacheServesAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
-	_, ts1 := newTestServer(t, Config{CacheDir: dir})
+	_, ts1, w1 := newTestServer(t, Config{CacheDir: dir})
 	spec := tinySpec(13, 8)
-	st := waitTerminal(t, ts1, submit(t, ts1, spec, http.StatusAccepted).ID)
+	st := waitTerminal(t, ts1, w1, submit(t, ts1, spec, http.StatusAccepted).ID)
 	payload1 := fetchResult(t, ts1, st.ID)
 
-	srv2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	srv2, ts2, _ := newTestServer(t, Config{CacheDir: dir})
 	st2 := submit(t, ts2, spec, http.StatusOK)
 	if !st2.Cached {
 		t.Fatalf("restart lost the cache: %+v", st2)
@@ -233,7 +313,7 @@ func TestCacheServesAcrossRestart(t *testing.T) {
 }
 
 func TestMalformedSpecs400(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxReps: 100})
+	_, ts, _ := newTestServer(t, Config{MaxReps: 100})
 	post := func(body string) int {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -261,7 +341,7 @@ func TestMalformedSpecs400(t *testing.T) {
 		}
 	}
 	// And unknown jobs 404.
-	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result"} {
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/timeline"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -277,29 +357,12 @@ func TestMalformedSpecs400(t *testing.T) {
 // TestCancelMidRun submits a long series, waits until it is running, and
 // cancels it over the API.
 func TestCancelMidRun(t *testing.T) {
-	_, ts := newTestServer(t, Config{JobTimeout: time.Minute})
+	_, ts, w := newTestServer(t, Config{JobTimeout: time.Minute})
 	st := submit(t, ts, tinySpec(17, 50000), http.StatusAccepted)
 
 	// Wait for the job to leave the queue.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var cur JobStatus
-		json.NewDecoder(resp.Body).Decode(&cur)
-		resp.Body.Close()
-		if cur.State == StateRunning {
-			break
-		}
-		if cur.State.Terminal() {
-			t.Fatalf("job finished before it could be canceled: %+v", cur)
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("job never started running")
-		}
-		time.Sleep(2 * time.Millisecond)
+	if got := w.await(t, st.ID, func(s JobState) bool { return s == StateRunning || s.Terminal() }); got != StateRunning {
+		t.Fatalf("job finished before it could be canceled: %s", got)
 	}
 
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
@@ -313,7 +376,7 @@ func TestCancelMidRun(t *testing.T) {
 		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
 	}
 
-	final := waitTerminal(t, ts, st.ID)
+	final := waitTerminal(t, ts, w, st.ID)
 	if final.State != StateCanceled {
 		t.Fatalf("state after cancel = %s (err %q), want canceled", final.State, final.Error)
 	}
@@ -331,7 +394,7 @@ func TestCancelMidRun(t *testing.T) {
 
 // TestCancelQueuedJob cancels a job that is still waiting in the queue.
 func TestCancelQueuedJob(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Workers: 1, JobTimeout: time.Minute})
+	srv, ts, w := newTestServer(t, Config{Workers: 1, JobTimeout: time.Minute})
 	blocker := submit(t, ts, tinySpec(19, 50000), http.StatusAccepted)
 	queued := submit(t, ts, tinySpec(23, 10), http.StatusAccepted)
 
@@ -339,7 +402,7 @@ func TestCancelQueuedJob(t *testing.T) {
 		t.Fatalf("cancel queued: state=%s ok=%v", state, ok)
 	}
 	srv.Cancel(blocker.ID)
-	if st := waitTerminal(t, ts, queued.ID); st.State != StateCanceled {
+	if st := waitTerminal(t, ts, w, queued.ID); st.State != StateCanceled {
 		t.Fatalf("queued job state %s, want canceled", st.State)
 	}
 }
@@ -347,7 +410,7 @@ func TestCancelQueuedJob(t *testing.T) {
 // TestGracefulDrain: during a drain, running jobs finish and new
 // submissions are rejected with 503.
 func TestGracefulDrain(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Workers: 2})
+	srv, ts, _ := newTestServer(t, Config{Workers: 2})
 	st := submit(t, ts, tinySpec(29, 200), http.StatusAccepted)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -383,21 +446,12 @@ func TestGracefulDrain(t *testing.T) {
 
 // TestQueueFull503: the bounded queue rejects the overflow submission.
 func TestQueueFull503(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1, JobTimeout: time.Minute})
+	srv, ts, w := newTestServer(t, Config{Workers: 1, QueueSize: 1, JobTimeout: time.Minute})
 	blocker := submit(t, ts, tinySpec(37, 50000), http.StatusAccepted)
 
 	// Wait until the blocker occupies the single worker so the next
 	// submission parks in the queue slot.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if st, _ := srv.Status(blocker.ID); st.State == StateRunning {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("blocker never started")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	w.await(t, blocker.ID, func(s JobState) bool { return s == StateRunning })
 	submit(t, ts, tinySpec(41, 50000), http.StatusAccepted) // fills the queue
 
 	body, _ := json.Marshal(tinySpec(43, 5))
@@ -419,7 +473,7 @@ func TestQueueFull503(t *testing.T) {
 // first submission is still running must not execute twice (singleflight
 // behind the worker pool).
 func TestIdenticalConcurrentSubmissions(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Workers: 4})
+	srv, ts, w := newTestServer(t, Config{Workers: 4})
 	spec := tinySpec(47, 400)
 
 	ids := make([]string, 4)
@@ -428,7 +482,7 @@ func TestIdenticalConcurrentSubmissions(t *testing.T) {
 	}
 	var payloads [][]byte
 	for _, id := range ids {
-		st := waitTerminal(t, ts, id)
+		st := waitTerminal(t, ts, w, id)
 		if st.State != StateDone {
 			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
 		}
@@ -448,9 +502,9 @@ func TestIdenticalConcurrentSubmissions(t *testing.T) {
 // a one-field change must produce a different hash and (here) different
 // bytes.
 func TestDifferentSpecsDifferentResults(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	a := waitTerminal(t, ts, submit(t, ts, tinySpec(51, 6), http.StatusAccepted).ID)
-	b := waitTerminal(t, ts, submit(t, ts, tinySpec(52, 6), http.StatusAccepted).ID)
+	_, ts, w := newTestServer(t, Config{})
+	a := waitTerminal(t, ts, w, submit(t, ts, tinySpec(51, 6), http.StatusAccepted).ID)
+	b := waitTerminal(t, ts, w, submit(t, ts, tinySpec(52, 6), http.StatusAccepted).ID)
 	if a.SpecHash == b.SpecHash {
 		t.Fatal("different seeds, same spec hash")
 	}
@@ -460,7 +514,7 @@ func TestDifferentSpecsDifferentResults(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -476,9 +530,9 @@ func TestHealthz(t *testing.T) {
 // executor run of the same resolved spec: the service must not perturb the
 // deterministic results it serves.
 func TestResultDeterminismMatchesDirectRun(t *testing.T) {
-	_, ts := newTestServer(t, Config{Parallelism: 3})
+	_, ts, w := newTestServer(t, Config{Parallelism: 3})
 	spec := tinySpec(57, 9)
-	st := waitTerminal(t, ts, submit(t, ts, spec, http.StatusAccepted).ID)
+	st := waitTerminal(t, ts, w, submit(t, ts, spec, http.StatusAccepted).ID)
 	var res JobResult
 	if err := json.Unmarshal(fetchResult(t, ts, st.ID), &res); err != nil {
 		t.Fatal(err)

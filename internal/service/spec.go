@@ -55,6 +55,11 @@ type JobSpec struct {
 	PinInjectors bool `json:"pin_injectors,omitempty"`
 	// Inject, when non-nil, replays this noise configuration (stage 3).
 	Inject *core.Config `json:"inject,omitempty"`
+	// Timeline records rep 0's full scheduling-event timeline (Chrome
+	// trace-event JSON), served at GET /v1/jobs/{id}/timeline. The recorder
+	// is passive, so the result payload is unaffected; the field still
+	// participates in the spec hash (omitempty keeps legacy hashes stable).
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // Normalize rewrites representation-only variation to canonical form so

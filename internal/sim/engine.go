@@ -94,6 +94,23 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 // count, never an overcount.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// Stats is a snapshot of engine-level counters, feeding the observability
+// registry (internal/obs) at end of run.
+type Stats struct {
+	// Steps is the number of events processed so far.
+	Steps uint64
+	// Pending is the live event-queue depth.
+	Pending int
+	// FreeTimers is the recycled-Timer pool size — how deep the event flow
+	// ran without allocating.
+	FreeTimers int
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Steps: e.Steps, Pending: len(e.events), FreeTimers: len(e.free)}
+}
+
 // release returns a fired or cancelled timer to the free list.
 func (e *Engine) release(tm *Timer) {
 	tm.fn = nil

@@ -63,6 +63,9 @@ type Queue struct {
 	doneBar   *cpusched.Barrier // host+workers rendezvous at kernel end
 	kern      *kernel
 	stop      bool
+	// kernels counts submissions for obs span naming (only advanced while
+	// an observer is attached).
+	kernels int
 
 	cyclesPerNs float64
 
@@ -140,16 +143,28 @@ func (q *Queue) ParallelFor(n int, cost func(int) parmodel.Cost) {
 	if n < 0 {
 		panic("syclrt: negative ND-range")
 	}
+	// Observability only reads the clock (safe from the body goroutine,
+	// like Ctx.Now): the kernel span steals no simulated time.
+	rec := q.s.Observer()
+	var submitStart sim.Time
+	if rec != nil {
+		submitStart = q.hostCtx.Now()
+		q.kernels++
+	}
 	// Host-side submission cost.
 	q.hostCtx.Compute(float64(q.cfg.SubmitOverhead) * q.cyclesPerNs)
 	q.kern = &kernel{n: n, cost: cost}
 	if q.plan.Threads == 1 {
 		q.runWorkGroups(q.hostCtx)
-		return
+	} else {
+		q.hostCtx.Barrier(q.kernelBar, false) // wake the pool
+		q.runWorkGroups(q.hostCtx)            // host joins execution
+		q.hostCtx.Barrier(q.doneBar, q.cfg.ActiveWait)
 	}
-	q.hostCtx.Barrier(q.kernelBar, false) // wake the pool
-	q.runWorkGroups(q.hostCtx)            // host joins execution
-	q.hostCtx.Barrier(q.doneBar, q.cfg.ActiveWait)
+	if rec != nil {
+		rec.Span(q.hostCtx.CPU(), fmt.Sprintf("kernel-%d", q.kernels),
+			"sycl", "in-order", submitStart, q.hostCtx.Now())
+	}
 }
 
 // poolProgram is the pool worker's loop as an inline scheduler Program,
