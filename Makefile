@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-tables bench-quick examples clean cover test-service fuzz-smoke serve
+.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-tables bench-quick examples clean cover test-service fuzz-smoke serve
 
 all: build vet test
 
@@ -68,6 +68,18 @@ bench-obs:
 	  -benchmem -benchtime $(BENCHTIME) -timeout 1h \
 	| $(GO) run ./cmd/benchjson -note "obs overhead: off mode must stay within 2% of BenchmarkSimulatedRun (passive observer, nil-check fast path)" > BENCH_obs.json
 	@cat BENCH_obs.json
+
+# Simulated-datacenter evidence: the headline straggler study per placement
+# policy, recorded as committed JSON. The custom metrics carry the study's
+# two headline numbers: throughput (jobs/s) and the straggler slowdown
+# ratio (straggler-placed mean makespan over the rest; absent for
+# noise-aware, which avoids the straggler entirely).
+CLUSTER_BENCHTIME ?= 20x
+bench-cluster:
+	$(GO) test ./internal/cluster/ -run xxx -bench 'BenchmarkClusterPolicy' \
+	  -benchmem -benchtime $(CLUSTER_BENCHTIME) -timeout 1h \
+	| $(GO) run ./cmd/benchjson -note "straggler study: 4 x tiny-test, node 0 at x40 noise, 3 tenants x 8 fork-join jobs (see StragglerStudySpec)" > BENCH_cluster.json
+	@cat BENCH_cluster.json
 
 # Only the paper's tables/figures (skips ablations and micro-benches).
 bench-tables:

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// cmdCluster runs the simulated-datacenter straggler study: N nodes (one
+// optionally a straggler running its background noise at a multiple of the
+// natural intensity), multi-tenant fork-join load, one run per placement
+// policy per rep. Defaults reproduce the headline study committed under
+// results/.
+func cmdCluster(args []string) error {
+	def := repro.StragglerStudySpec()
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nodes := fs.Int("nodes", def.Nodes, "node count")
+	preset := fs.String("preset", "tiny-test", "per-node machine preset")
+	straggler := fs.Int("straggler", def.Straggler, "index of the straggler node")
+	stragglerScale := fs.Float64("straggler-scale", def.StragglerScale,
+		"straggler noise multiplier (0 or 1 = no straggler)")
+	noiseScale := fs.Float64("noise-scale", 0, "noise multiplier applied to every node (0 or 1 = natural)")
+	policies := fs.String("policies", "", "comma-separated placement policies (default: all of "+
+		strings.Join(repro.PolicyNames(), ", ")+")")
+	tenants := fs.Int("tenants", def.Tenants, "number of load-generating tenants")
+	jobs := fs.Int("jobs", def.JobsPerTenant, "fork-join jobs per tenant")
+	width := fs.Int("width", def.Width, "workers per job (0 = one node's cores)")
+	workerMs := fs.Float64("worker-ms", def.WorkerMs, "mean per-worker compute time (simulated ms)")
+	arrivalMs := fs.Float64("arrival-ms", def.ArrivalMs, "mean inter-arrival gap per tenant (simulated ms)")
+	reps := fs.Int("reps", 5, "repetitions per policy")
+	seed := fs.Uint64("seed", 42, "base seed (rep i uses a derived seed)")
+	jsonOut := fs.String("o", "", "also write the full study result as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := repro.ClusterSpec{
+		Nodes: *nodes, Preset: *preset,
+		Straggler: *straggler, StragglerScale: *stragglerScale, NoiseScale: *noiseScale,
+		Tenants: *tenants, JobsPerTenant: *jobs, Width: *width,
+		WorkerMs: *workerMs, ArrivalMs: *arrivalMs,
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	var pols []string
+	if *policies != "" {
+		for _, p := range strings.Split(*policies, ",") {
+			pols = append(pols, strings.ToLower(strings.TrimSpace(p)))
+		}
+	}
+
+	study := repro.ClusterStudy{Spec: spec, Policies: pols, Reps: *reps, Seed: *seed, Exec: newExec()}
+	res, err := study.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	stragglerOn := *stragglerScale != 0 && *stragglerScale != 1
+	fmt.Printf("cluster: %d x %s", spec.Nodes, *preset)
+	if stragglerOn {
+		fmt.Printf(", node %d straggling at x%g noise", spec.Straggler, *stragglerScale)
+	}
+	fmt.Printf("; %d tenants x %d jobs, width %d, worker %gms, arrival %gms, %d reps\n\n",
+		spec.Tenants, spec.JobsPerTenant, spec.Width, spec.WorkerMs, spec.ArrivalMs, *reps)
+	fmt.Printf("%-14s %10s %10s %10s %10s %9s %8s\n",
+		"policy", "mean ms", "p95 ms", "max ms", "batch ms", "jobs/s", "on-strag")
+	for _, cell := range res.Cells {
+		fmt.Printf("%-14s %10.2f %10.2f %10.2f %10.2f %9.1f %7.0f%%\n",
+			cell.Policy, cell.Makespan.Mean, cell.Makespan.P95, cell.Makespan.Max,
+			cell.Batch.Mean, cell.ThroughputJobsPerSec, cell.StragglerShare*100)
+	}
+	if stragglerOn {
+		fmt.Println()
+		for _, cell := range res.Cells {
+			if cell.StragglerRatio > 0 {
+				fmt.Printf("%-14s straggler-placed jobs %.2fx slower than the rest\n",
+					cell.Policy, cell.StragglerRatio)
+			} else {
+				fmt.Printf("%-14s placed no jobs on the straggler\n", cell.Policy)
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cluster: study result -> %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -26,6 +26,8 @@
 //	report               regenerate every table and figure into a directory
 //	timeline             export a run's full scheduling timeline (Chrome JSON)
 //	runlevel             baseline variability at runlevel 5 vs 3 (§5.1)
+//	cluster              simulated-datacenter straggler study: placement
+//	                     policies on a multi-node topology
 //	submit status get cancel
 //	                     client mode against a running noiselabd
 package main
@@ -154,6 +156,8 @@ func run() int {
 		err = cmdTimeline(args)
 	case "runlevel":
 		err = cmdRunlevel(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "submit":
 		err = cmdSubmit(args)
 	case "status":
@@ -195,6 +199,9 @@ func usage() {
   noiselab fig1 | fig2 [-reps N]
   noiselab fig3 | fig4 | fig5
   noiselab shapecheck [-scale F]
+  noiselab cluster    [-nodes N] [-straggler I -straggler-scale F] [-policies a,b]
+                      [-tenants N] [-jobs N] [-width N] [-worker-ms F] [-arrival-ms F]
+                      [-reps N] [-seed N] [-o study.json]
   noiselab submit     -server URL -platform P -workload W -model M -strategy S
                       [-seed N] [-reps N] [-size small] [-tracing] [-wait]
   noiselab status     -server URL -job ID

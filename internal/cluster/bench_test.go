@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// BenchmarkClusterPolicy runs the headline straggler scenario once per
+// iteration for each policy, reporting mean throughput and the straggler
+// slowdown ratio as custom metrics (committed to BENCH_cluster.json by
+// `make bench-cluster`).
+func BenchmarkClusterPolicy(b *testing.B) {
+	for _, pol := range PolicyNames() {
+		b.Run(pol, func(b *testing.B) {
+			var tput, ratioSum float64
+			ratioN := 0
+			for i := 0; i < b.N; i++ {
+				spec := StragglerStudySpec()
+				spec.Policy = pol
+				r, err := Run(spec, 42+uint64(i)*1000003, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput += r.ThroughputJobsPerSec
+				if r.StragglerRatio > 0 {
+					ratioSum += r.StragglerRatio
+					ratioN++
+				}
+			}
+			b.ReportMetric(tput/float64(b.N), "jobs/s")
+			if ratioN > 0 {
+				b.ReportMetric(ratioSum/float64(ratioN), "straggler-ratio")
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/sim"
+)
+
+// Job is one fork-join task group: Width worker tasks spawned together on
+// one node, complete when the last worker finishes. The makespan
+// (Finish - Arrival) is what a straggler node stretches: fork-join time is
+// the max over workers, so one slow worker drags the whole job.
+type Job struct {
+	// ID is the arrival-order index across all tenants.
+	ID int
+	// Tenant is the submitting tenant.
+	Tenant int
+	// Width is the worker count; WorkerCycles the per-worker compute
+	// demand (jittered per worker at arrival).
+	Width        int
+	WorkerCycles []float64
+	// Arrival is the submission instant; Node the placement; Finish the
+	// instant the last worker completed.
+	Arrival sim.Time
+	Node    int
+	Finish  sim.Time
+
+	done int
+}
+
+// GlobalSched is the cluster-level scheduler: it receives job arrivals
+// from the tenants, consults the placement policy, and spawns the job's
+// worker tasks on the chosen node. All bookkeeping happens on the engine
+// thread inside arrival and completion events, so it needs no locking and
+// stays deterministic.
+type GlobalSched struct {
+	w        *World
+	policy   PlacementPolicy
+	jobs     []*Job
+	finished int
+}
+
+func newGlobalSched(w *World, policy PlacementPolicy) *GlobalSched {
+	return &GlobalSched{w: w, policy: policy}
+}
+
+// Submit places a job and forks its workers. Called on the engine thread
+// at the job's arrival instant.
+func (g *GlobalSched) Submit(j *Job) {
+	j.ID = len(g.jobs)
+	j.Arrival = g.w.Eng.Now()
+	g.jobs = append(g.jobs, j)
+
+	node := g.policy.Place(j, g.w)
+	j.Node = node
+	ns := g.w.Nodes[node]
+	ns.JobsPlaced++
+	ns.Inflight += j.Width
+	if rec := g.w.rec; rec != nil {
+		rec.Instant(ns.CPUBase, "place", "cluster",
+			fmt.Sprintf("%s: t%d job%d w%d -> %s", g.policy.Name(), j.Tenant, j.ID, j.Width, ns.Node.Name),
+			j.Arrival)
+	}
+
+	mask := ns.Node.Topo.UserMask()
+	for k := 0; k < j.Width; k++ {
+		t := ns.Sched.SpawnSeq(cpusched.TaskSpec{
+			Name:     fmt.Sprintf("job%d-w%d", j.ID, k),
+			Kind:     cpusched.KindWorkload,
+			Affinity: mask,
+		}, cpusched.ReqCompute(j.WorkerCycles[k]))
+		t.OnDone(func() { g.workerDone(j, ns) })
+	}
+}
+
+// workerDone runs on the engine thread when one worker task finishes.
+func (g *GlobalSched) workerDone(j *Job, ns *NodeState) {
+	ns.Inflight--
+	j.done++
+	if j.done == j.Width {
+		j.Finish = g.w.Eng.Now()
+		g.finished++
+		if rec := g.w.rec; rec != nil {
+			rec.Instant(ns.CPUBase, "job-done", "cluster",
+				fmt.Sprintf("job%d makespan %v", j.ID, j.Finish-j.Arrival), j.Finish)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Placement policy names accepted by Spec.Policy and NewPolicy.
+const (
+	PolicyRandom     = "random"
+	PolicyRoundRobin = "round-robin"
+	PolicyLeastLoad  = "least-loaded"
+	PolicyNoiseAware = "noise-aware"
+)
+
+// PolicyNames lists the available placement policies.
+func PolicyNames() []string {
+	return []string{PolicyRandom, PolicyRoundRobin, PolicyLeastLoad, PolicyNoiseAware}
+}
+
+func knownPolicy(name string) bool {
+	for _, p := range PolicyNames() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PlacementPolicy decides which node a job runs on. Place is called on the
+// engine thread inside the job's arrival event, so every decision is part
+// of the deterministic global event order; implementations must draw
+// randomness only from streams of the run's seeded RNG and must break ties
+// by node ID so equal inputs give equal placements.
+type PlacementPolicy interface {
+	Name() string
+	Place(j *Job, w *World) int
+}
+
+// NewPolicy builds the named policy. rng feeds the stochastic policies;
+// deterministic ones ignore it.
+func NewPolicy(name string, rng *sim.RNG) (PlacementPolicy, error) {
+	switch name {
+	case PolicyRandom:
+		return &randomPolicy{rng: rng}, nil
+	case PolicyRoundRobin:
+		return &roundRobinPolicy{}, nil
+	case PolicyLeastLoad:
+		return &leastLoadedPolicy{}, nil
+	case PolicyNoiseAware:
+		return &noiseAwarePolicy{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q", name)
+	}
+}
+
+// randomPolicy places uniformly at random — the baseline that shows what
+// ignoring both load and noise costs.
+type randomPolicy struct{ rng *sim.RNG }
+
+func (p *randomPolicy) Name() string { return PolicyRandom }
+
+func (p *randomPolicy) Place(j *Job, w *World) int {
+	return p.rng.Intn(len(w.Nodes))
+}
+
+// roundRobinPolicy cycles through the nodes in ID order — oblivious to
+// both load and noise, but perfectly balanced in job count.
+type roundRobinPolicy struct{ next int }
+
+func (p *roundRobinPolicy) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobinPolicy) Place(j *Job, w *World) int {
+	n := p.next % len(w.Nodes)
+	p.next++
+	return n
+}
+
+// leastLoadedPolicy picks the node with the lowest in-flight worker count
+// per CPU (normalized so heterogeneous presets compare fairly), ties
+// broken by node ID. It sees queue depth but not noise, so it still walks
+// into a straggler whose queue drains slowly only after the queue has
+// visibly built up.
+type leastLoadedPolicy struct{}
+
+func (p *leastLoadedPolicy) Name() string { return PolicyLeastLoad }
+
+func (p *leastLoadedPolicy) Place(j *Job, w *World) int {
+	return bestNode(w, func(ns *NodeState) float64 {
+		return float64(ns.Inflight) / float64(ns.Node.Topo.NumCPUs())
+	})
+}
+
+// noiseAwarePolicy scores nodes by utilization weighted by their noise
+// intensity: score = (inflight/cpus + 1) * effectiveNoise. With equal
+// loads a 4x straggler scores 4x worse and is avoided; once the quiet
+// nodes are loaded enough the straggler is used again rather than letting
+// it idle — the policy degrades to least-loaded under saturation.
+type noiseAwarePolicy struct{}
+
+func (p *noiseAwarePolicy) Name() string { return PolicyNoiseAware }
+
+func (p *noiseAwarePolicy) Place(j *Job, w *World) int {
+	return bestNode(w, func(ns *NodeState) float64 {
+		util := float64(ns.Inflight) / float64(ns.Node.Topo.NumCPUs())
+		return (util + 1) * ns.Node.EffectiveNoise()
+	})
+}
+
+// bestNode returns the node with the minimal score, ties broken by the
+// lowest node ID (strict < keeps the first minimum).
+func bestNode(w *World, score func(*NodeState) float64) int {
+	best, bestScore := 0, score(w.Nodes[0])
+	for i := 1; i < len(w.Nodes); i++ {
+		if s := score(w.Nodes[i]); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,169 @@
+// Package cluster lifts the simulator's single-node assumption: it builds a
+// simulated datacenter of N nodes — each a machine.Topology with its own
+// Linux-like CPU scheduler and natural background noise — driven by one
+// shared discrete-event clock, and places multi-tenant fork-join jobs onto
+// the nodes through pluggable placement policies.
+//
+// Determinism: a cluster run is a pure function of (Spec, seed). All
+// per-node schedulers share a single sim.Engine, so cross-node events are
+// totally ordered by (time, scheduling sequence); placement decisions fire
+// inside arrival events on the engine thread; and every random draw comes
+// from a named stream of the run's seeded RNG. Runs are therefore
+// byte-identical across repetitions and executor parallelism levels, which
+// is what lets noiselabd cache cluster results content-addressed, exactly
+// like single-node jobs.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/platform"
+)
+
+// Spec describes one cluster scenario. The zero value of most fields means
+// "default" (see withDefaults); Normalize canonicalizes the spellings that
+// must hash equal.
+type Spec struct {
+	// Nodes is the node count (>= 1).
+	Nodes int `json:"nodes"`
+	// Preset is the per-node machine preset; every node runs the same one
+	// ("" = tiny-test).
+	Preset string `json:"preset,omitempty"`
+	// Straggler is the index of the straggler node; it only takes effect
+	// when StragglerScale marks an actual straggler.
+	Straggler int `json:"straggler,omitempty"`
+	// StragglerScale multiplies the straggler node's background-noise
+	// intensity. 0 and 1 both mean no straggler.
+	StragglerScale float64 `json:"straggler_scale,omitempty"`
+	// NoiseScale multiplies every node's noise intensity (0 and 1 both mean
+	// natural); the straggler multiplies on top of it.
+	NoiseScale float64 `json:"noise_scale,omitempty"`
+	// Policy names the placement policy (see PolicyNames; "" =
+	// round-robin).
+	Policy string `json:"policy"`
+	// Tenants is the number of independent load generators (default 2).
+	Tenants int `json:"tenants,omitempty"`
+	// JobsPerTenant is how many fork-join jobs each tenant submits
+	// (default 8).
+	JobsPerTenant int `json:"jobs_per_tenant,omitempty"`
+	// Width is the fork-join width: worker tasks per job (0 = the cores of
+	// one node).
+	Width int `json:"width,omitempty"`
+	// WorkerMs is the mean per-worker compute time in simulated
+	// milliseconds at full single-thread speed of the preset (default 2).
+	WorkerMs float64 `json:"worker_ms,omitempty"`
+	// ArrivalMs is the mean inter-arrival gap between a tenant's jobs in
+	// simulated milliseconds (Poisson arrivals; default 5).
+	ArrivalMs float64 `json:"arrival_ms,omitempty"`
+}
+
+// Normalize rewrites representation-only variation to canonical form so
+// semantically equal specs hash equal: policy/preset spelling and the two
+// spellings of natural noise intensity. It does not validate.
+func (s *Spec) Normalize() {
+	s.Preset = strings.ToLower(strings.TrimSpace(s.Preset))
+	s.Policy = strings.ToLower(strings.TrimSpace(s.Policy))
+	if s.NoiseScale == 1 {
+		s.NoiseScale = 0
+	}
+	if s.StragglerScale == 1 {
+		s.StragglerScale = 0
+	}
+	if s.StragglerScale == 0 {
+		// No straggler: the index is inert; zero it so it cannot split the
+		// cache key.
+		s.Straggler = 0
+	}
+}
+
+// withDefaults fills unset fields with their documented defaults.
+func (s Spec) withDefaults() Spec {
+	if s.Preset == "" {
+		s.Preset = machine.TinyTest
+	}
+	if s.Policy == "" {
+		s.Policy = PolicyRoundRobin
+	}
+	if s.Tenants == 0 {
+		s.Tenants = 2
+	}
+	if s.JobsPerTenant == 0 {
+		s.JobsPerTenant = 8
+	}
+	if s.WorkerMs == 0 {
+		s.WorkerMs = 2
+	}
+	if s.ArrivalMs == 0 {
+		s.ArrivalMs = 5
+	}
+	return s
+}
+
+// Validate checks the spec against the known presets and policies. It is
+// what turns a nonsensical submission (0 nodes, a policy typo) into an
+// error the daemon can 400 on, instead of a panic mid-run.
+func (s *Spec) Validate() error {
+	d := s.withDefaults()
+	if s.Nodes < 1 {
+		return fmt.Errorf("cluster: nodes %d must be >= 1", s.Nodes)
+	}
+	if _, err := machine.Preset(d.Preset); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if !knownPolicy(d.Policy) {
+		return fmt.Errorf("cluster: unknown policy %q (want one of %s)",
+			d.Policy, strings.Join(PolicyNames(), ", "))
+	}
+	if s.StragglerScale != 0 && s.StragglerScale != 1 {
+		if s.Straggler < 0 || s.Straggler >= s.Nodes {
+			return fmt.Errorf("cluster: straggler index %d out of range [0,%d)", s.Straggler, s.Nodes)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"straggler_scale", s.StragglerScale},
+		{"noise_scale", s.NoiseScale},
+		{"worker_ms", s.WorkerMs},
+		{"arrival_ms", s.ArrivalMs},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("cluster: %s %g must be finite and >= 0", f.name, f.v)
+		}
+	}
+	if s.Tenants < 0 || s.JobsPerTenant < 0 || s.Width < 0 {
+		return fmt.Errorf("cluster: tenants, jobs_per_tenant and width must be >= 0 (0 = default)")
+	}
+	return nil
+}
+
+// buildCluster resolves the spec into a machine.Cluster.
+func (s Spec) buildCluster() (*machine.Cluster, error) {
+	c, err := machine.UniformCluster(s.Nodes, s.Preset)
+	if err != nil {
+		return nil, err
+	}
+	base := s.NoiseScale
+	if base == 0 {
+		base = 1
+	}
+	for _, n := range c.Nodes {
+		n.NoiseScale = base
+	}
+	if s.StragglerScale != 0 && s.StragglerScale != 1 {
+		if err := c.SetStraggler(s.Straggler, base*s.StragglerScale); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// nodePlatform resolves the per-node platform (topology + natural noise
+// profile + scheduler options) for the spec's preset.
+func (s Spec) nodePlatform() (*platform.Platform, error) {
+	return platform.New(s.Preset)
+}

@@ -1,0 +1,21 @@
+package cluster
+
+// StragglerStudySpec is the headline straggler-sensitivity scenario: four
+// nodes, node 0 a 40x-noise straggler, three tenants of eight fork-join jobs
+// each. The load point is deliberately moderate (mean node utilization ~0.5
+// when spread over all four nodes) so that avoiding the straggler costs
+// little queueing — the regime where placement policy choice is visible in
+// mean makespan, not just in the tail. The CLI, the committed benchmark, and
+// the golden fixture all run this spec so their numbers are comparable.
+func StragglerStudySpec() Spec {
+	return Spec{
+		Nodes:          4,
+		Straggler:      0,
+		StragglerScale: 40,
+		Tenants:        3,
+		JobsPerTenant:  8,
+		Width:          4,
+		WorkerMs:       20,
+		ArrivalMs:      60,
+	}
+}

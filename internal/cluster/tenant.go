@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"repro/internal/sim"
+)
+
+// workerJitterSigma is the log-space spread of per-worker compute demand:
+// workers of one job are near-equal (a fork-join split of one problem),
+// but not exactly, which is what gives the straggler's noise a tail to
+// amplify.
+const workerJitterSigma = 0.25
+
+// Tenant is one open-loop load generator: it submits JobsPerTenant
+// fork-join jobs with exponentially distributed inter-arrival gaps, each
+// job's per-worker compute demand drawn log-normally around the spec
+// mean. All draws come from the tenant's own named RNG stream, so adding
+// a tenant never perturbs another tenant's sequence.
+type Tenant struct {
+	ID int
+
+	w          *World
+	remaining  int
+	width      int
+	meanCycles float64
+	meanGapNs  float64
+	rng        *sim.RNG
+}
+
+func newTenant(id int, w *World, jobs, width int, meanCycles, meanGapNs float64, rng *sim.RNG) *Tenant {
+	return &Tenant{
+		ID: id, w: w, remaining: jobs, width: width,
+		meanCycles: meanCycles, meanGapNs: meanGapNs, rng: rng,
+	}
+}
+
+// start schedules the tenant's first arrival. Called before the engine
+// runs (time zero), so the first gap is measured from t=0.
+func (t *Tenant) start() {
+	if t.remaining <= 0 {
+		return
+	}
+	t.w.Eng.After(t.gap(), func() { t.arrive() })
+}
+
+// gap draws the next inter-arrival delay.
+func (t *Tenant) gap() sim.Time {
+	if t.meanGapNs <= 0 {
+		return 0
+	}
+	return sim.Time(t.rng.ExpFloat64(1 / t.meanGapNs))
+}
+
+// arrive submits one job and schedules the next arrival. Runs on the
+// engine thread.
+func (t *Tenant) arrive() {
+	j := &Job{
+		Tenant:       t.ID,
+		Width:        t.width,
+		WorkerCycles: make([]float64, t.width),
+	}
+	for k := range j.WorkerCycles {
+		j.WorkerCycles[k] = t.rng.LogNormalMean(t.meanCycles, workerJitterSigma)
+	}
+	t.w.gs.Submit(j)
+	t.remaining--
+	if t.remaining > 0 {
+		t.w.Eng.After(t.gap(), func() { t.arrive() })
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSpec is a small scenario that still exercises multi-tenant load, a
+// straggler, and cross-node placement.
+func testSpec(policy string) Spec {
+	return Spec{
+		Nodes: 3, Straggler: 0, StragglerScale: 8, Policy: policy,
+		Tenants: 2, JobsPerTenant: 4, Width: 2, WorkerMs: 2, ArrivalMs: 3,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, pol := range PolicyNames() {
+		a, err := Run(testSpec(pol), 42, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		b, err := Run(testSpec(pol), 42, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same (spec, seed) produced different results:\n%+v\n%+v", pol, a, b)
+		}
+		if a.Jobs != 8 || len(a.MakespanNs) != 8 || len(a.Placements) != 8 {
+			t.Fatalf("%s: want 8 jobs, got %+v", pol, a)
+		}
+		for i, m := range a.MakespanNs {
+			if m <= 0 {
+				t.Fatalf("%s: job %d has non-positive makespan %d", pol, i, m)
+			}
+		}
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	a, err := Run(testSpec(PolicyRoundRobin), 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testSpec(PolicyRoundRobin), 43, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.MakespanNs, b.MakespanNs) {
+		t.Fatal("different seeds produced identical makespans")
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"zero nodes", Spec{Nodes: 0}, "nodes"},
+		{"negative nodes", Spec{Nodes: -2}, "nodes"},
+		{"policy typo", Spec{Nodes: 2, Policy: "roundrobin"}, "unknown policy"},
+		{"unknown preset", Spec{Nodes: 2, Preset: "mainframe"}, "preset"},
+		{"straggler out of range", Spec{Nodes: 2, Straggler: 5, StragglerScale: 4}, "out of range"},
+		{"negative straggler index", Spec{Nodes: 2, Straggler: -1, StragglerScale: 4}, "out of range"},
+		{"negative scale", Spec{Nodes: 2, StragglerScale: -1}, "straggler_scale"},
+		{"negative worker ms", Spec{Nodes: 2, WorkerMs: -3}, "worker_ms"},
+		{"negative tenants", Spec{Nodes: 2, Tenants: -1}, "tenants"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	s := Spec{Nodes: 1}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+}
+
+func TestNormalizeCanonicalizes(t *testing.T) {
+	s := Spec{Nodes: 2, Preset: "  Tiny-Test ", Policy: "Round-Robin",
+		NoiseScale: 1, StragglerScale: 1, Straggler: 1}
+	s.Normalize()
+	if s.Preset != "tiny-test" || s.Policy != "round-robin" {
+		t.Fatalf("spelling not canonicalized: %+v", s)
+	}
+	if s.NoiseScale != 0 || s.StragglerScale != 0 {
+		t.Fatalf("scale 1 not folded to 0: %+v", s)
+	}
+	if s.Straggler != 0 {
+		t.Fatalf("inert straggler index not zeroed: %+v", s)
+	}
+}
+
+func TestStragglerMetricsPopulated(t *testing.T) {
+	// Round-robin at 3 nodes places 1/3 of jobs on the straggler.
+	r, err := Run(testSpec(PolicyRoundRobin), 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StragglerShare <= 0 || r.StragglerShare >= 1 {
+		t.Fatalf("straggler share %g not in (0,1)", r.StragglerShare)
+	}
+	if r.StragglerRatio <= 0 {
+		t.Fatalf("straggler ratio %g not positive", r.StragglerRatio)
+	}
+	if r.ThroughputJobsPerSec <= 0 {
+		t.Fatalf("throughput %g not positive", r.ThroughputJobsPerSec)
+	}
+	sum := 0
+	for _, n := range r.NodeJobs {
+		sum += n
+	}
+	if sum != r.Jobs {
+		t.Fatalf("NodeJobs sums to %d, want %d", sum, r.Jobs)
+	}
+}

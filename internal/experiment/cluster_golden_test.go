@@ -1,0 +1,130 @@
+package experiment
+
+// The cluster golden test: pins the exact outputs of the simulated
+// datacenter — per-rep batch completion times and a fingerprint of every
+// job's makespan and placement — for each placement policy on the headline
+// straggler scenario, at executor parallelism 1 and 8. This is the
+// acceptance proof that lifting the single-node assumption kept the
+// determinism contract: a cluster run is a pure function of (spec, seed).
+//
+// Regenerate with REPRO_UPDATE_GOLDEN=1 go test ./internal/experiment
+// -run TestGoldenCluster — only for a deliberate, reviewed behaviour change.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+const clusterGoldenPath = "testdata/golden_cluster.json"
+
+const clusterGoldenReps = 3
+
+// clusterGoldenSpec is the pinned scenario: the headline straggler study at
+// a reduced rep count.
+func clusterGoldenSpec(policy string) cluster.Spec {
+	s := cluster.StragglerStudySpec()
+	s.Policy = policy
+	return s
+}
+
+// clusterGoldenRecord is the pinned outcome of one policy.
+type clusterGoldenRecord struct {
+	BatchNs []int64 `json:"batch_ns"`
+	Hash    string  `json:"hash"`
+	Jobs    int     `json:"jobs"`
+}
+
+// fingerprintClusterResults hashes every job's makespan and placement of
+// every rep, in order, so any change to placement or timing is caught.
+func fingerprintClusterResults(results []*cluster.Result) string {
+	h := fnv.New64a()
+	for _, r := range results {
+		fmt.Fprintf(h, "%s/%d/%d\n", r.Policy, r.Jobs, r.BatchNs)
+		for i := range r.MakespanNs {
+			fmt.Fprintf(h, "%d %d\n", r.MakespanNs[i], r.Placements[i])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runClusterGolden executes one policy's series at the given parallelism.
+// With withObs the passive recorder (timeline, lanes) is attached; the
+// fixture must still match exactly.
+func runClusterGolden(t *testing.T, policy string, parallelism int, withObs bool) clusterGoldenRecord {
+	t.Helper()
+	exec := Executor{Parallelism: parallelism}
+	if withObs {
+		exec.Obs = &ObsOptions{Timeline: true, Reg: obs.NewRegistry()}
+	}
+	results, err := exec.ClusterSeries(context.Background(), clusterGoldenSpec(policy), 42, clusterGoldenReps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := clusterGoldenRecord{Hash: fingerprintClusterResults(results)}
+	for _, r := range results {
+		rec.BatchNs = append(rec.BatchNs, r.BatchNs)
+		rec.Jobs += r.Jobs
+	}
+	return rec
+}
+
+// TestGoldenCluster verifies cluster runs reproduce the pinned outputs
+// exactly, at executor parallelism 1 and 8 and with observability attached.
+func TestGoldenCluster(t *testing.T) {
+	update := os.Getenv("REPRO_UPDATE_GOLDEN") != ""
+	var golden map[string]clusterGoldenRecord
+	if !update {
+		raw, err := os.ReadFile(clusterGoldenPath)
+		if err != nil {
+			t.Fatalf("reading cluster golden fixture (set REPRO_UPDATE_GOLDEN=1 to create): %v", err)
+		}
+		if err := json.Unmarshal(raw, &golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]clusterGoldenRecord{}
+	for _, policy := range cluster.PolicyNames() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			seq := runClusterGolden(t, policy, 1, false)
+			par := runClusterGolden(t, policy, 8, false)
+			if fmt.Sprint(seq) != fmt.Sprint(par) {
+				t.Fatalf("parallelism changed outputs:\n  p=1: %+v\n  p=8: %+v", seq, par)
+			}
+			// Observability is a passive observer: attaching the recorder
+			// (with per-node lanes) must not move a single event.
+			withObs := runClusterGolden(t, policy, 8, true)
+			if fmt.Sprint(seq) != fmt.Sprint(withObs) {
+				t.Fatalf("obs-enabled run diverged:\n  plain: %+v\n  obs:   %+v", seq, withObs)
+			}
+			got[policy] = seq
+			if update {
+				return
+			}
+			want, ok := golden[policy]
+			if !ok {
+				t.Fatalf("policy %q missing from golden fixture; regenerate with REPRO_UPDATE_GOLDEN=1", policy)
+			}
+			if fmt.Sprint(want) != fmt.Sprint(seq) {
+				t.Errorf("cluster output diverged from golden fixture:\n  want %+v\n  got  %+v", want, seq)
+			}
+		})
+	}
+	if update {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(clusterGoldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d policies)", clusterGoldenPath, len(got))
+	}
+}

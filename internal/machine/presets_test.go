@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetNamesAllResolve(t *testing.T) {
+	for _, name := range PresetNames() {
+		topo, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if topo.Name != name {
+			t.Fatalf("%s: topology named %q", name, topo.Name)
+		}
+		if topo.NumCPUs() <= 0 {
+			t.Fatalf("%s: NumCPUs = %d", name, topo.NumCPUs())
+		}
+		if topo.CyclesPerNs() <= 0 {
+			t.Fatalf("%s: CyclesPerNs = %g", name, topo.CyclesPerNs())
+		}
+		if topo.UserMask().Empty() {
+			t.Fatalf("%s: empty user mask", name)
+		}
+	}
+}
+
+func TestPresetReturnsFreshTopology(t *testing.T) {
+	// Each call must return an independent value: the cluster layer mutates
+	// per-node attributes and a shared pointer would alias nodes.
+	a, err := Preset(TinyTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preset(TinyTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("Preset returned the same *Topology twice")
+	}
+	a.Cores = 99
+	if b.Cores == 99 {
+		t.Fatal("mutating one preset instance changed another")
+	}
+}
+
+func TestMustPreset(t *testing.T) {
+	if MustPreset(TinyTest) == nil {
+		t.Fatal("MustPreset returned nil")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for unknown preset")
+		}
+		if !strings.Contains(strings.ToLower(
+			strings.TrimSpace(panicText(r))), "unknown preset") {
+			t.Fatalf("panic %v does not mention unknown preset", r)
+		}
+	}()
+	MustPreset("warehouse-scale")
+}
+
+func panicText(r any) string {
+	if err, ok := r.(error); ok {
+		return err.Error()
+	}
+	if s, ok := r.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestSMTPresetExposesSiblings(t *testing.T) {
+	topo := MustPreset(TinySMTTest)
+	if topo.NumCPUs() != 8 {
+		t.Fatalf("tiny-smt-test NumCPUs = %d, want 8 (4 cores x 2 threads)", topo.NumCPUs())
+	}
+	plain := MustPreset(TinyTest)
+	if plain.NumCPUs() != 4 {
+		t.Fatalf("tiny-test NumCPUs = %d, want 4", plain.NumCPUs())
+	}
+}

@@ -74,12 +74,87 @@ func WriteChromeJSON(w io.Writer, events []Event) error {
 	return json.NewEncoder(w).Encode(out)
 }
 
+// WriteChromeJSONNodes renders events grouped by node: each NodeLane
+// becomes one Perfetto process (pid = lane index + 1, named after the
+// node) whose threads are the node-local CPUs, so multi-node timelines
+// show placement decisions and straggler drag side by side. Events whose
+// CPU falls outside every lane land in pid 0 ("cluster"), which carries
+// cross-node markers such as placement instants.
+func WriteChromeJSONNodes(w io.Writer, events []Event, lanes []NodeLane) error {
+	if len(lanes) == 0 {
+		return WriteChromeJSON(w, events)
+	}
+	laneOf := func(cpu int) int {
+		for i, l := range lanes {
+			if cpu >= l.CPUBase && cpu < l.CPUBase+l.NumCPUs {
+				return i
+			}
+		}
+		return -1
+	}
+	idx := make([]int, len(events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return events[idx[a]].Start < events[idx[b]].Start
+	})
+	out := make([]any, 0, len(events)+2*len(lanes))
+	for i, l := range lanes {
+		out = append(out, map[string]any{
+			"name": "process_name", "ph": "M", "pid": i + 1, "tid": 0,
+			"args": map[string]string{"name": l.Name},
+		})
+		for c := 0; c < l.NumCPUs; c++ {
+			out = append(out, map[string]any{
+				"name": "thread_name", "ph": "M", "pid": i + 1, "tid": c,
+				"args": map[string]string{"name": fmt.Sprintf("cpu %d", c)},
+			})
+		}
+	}
+	out = append(out, map[string]any{
+		"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+		"args": map[string]string{"name": "cluster"},
+	})
+	for _, i := range idx {
+		e := events[i]
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(rune(e.Phase)),
+			TS:   float64(e.Start) / 1e3,
+		}
+		if li := laneOf(e.CPU); li >= 0 {
+			ce.PID = li + 1
+			ce.TID = e.CPU - lanes[li].CPUBase
+		} else {
+			ce.PID = 0
+			ce.TID = e.CPU
+		}
+		if e.Phase == PhaseSpan {
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.S = "t"
+		}
+		if e.Arg != "" {
+			ce.Args = map[string]string{"arg": e.Arg}
+		}
+		out = append(out, ce)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
 // WriteChromeJSON exports the recorder's timeline (see the package-level
-// function). It fails when the recorder was created without
-// Options.Timeline, since the export would silently be near-empty.
+// function); recorders with declared node lanes export node-grouped. It
+// fails when the recorder was created without Options.Timeline, since the
+// export would silently be near-empty.
 func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	r = r.self()
 	if !r.keep {
 		return fmt.Errorf("obs: recorder has no timeline (Options.Timeline was false)")
+	}
+	if len(r.lanes) > 0 {
+		return WriteChromeJSONNodes(w, r.timeline, r.lanes)
 	}
 	return WriteChromeJSON(w, r.timeline)
 }

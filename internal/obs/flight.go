@@ -21,7 +21,7 @@ type Flight struct {
 
 // FlightDump captures the recorder's ring into a Flight.
 func (r *Recorder) FlightDump(label string, err error) Flight {
-	f := Flight{Label: label, Total: r.total, Events: r.Recent()}
+	f := Flight{Label: label, Total: r.Total(), Events: r.Recent()}
 	if err != nil {
 		f.Err = err.Error()
 	}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLaneOffsetsCPUs(t *testing.T) {
+	root := NewRecorder(Options{Timeline: true})
+	l0 := root.Lane(0)
+	l1 := root.Lane(4)
+	l0.Span(2, "a", "workload", "", 0, 10)
+	l1.Span(2, "b", "workload", "", 5, 15)
+	l1.Instant(0, "c", "sched", "", 20)
+
+	evs := root.Events()
+	if len(evs) != 3 {
+		t.Fatalf("timeline len = %d, want 3 (lanes delegate to root)", len(evs))
+	}
+	wantCPU := map[string]int{"a": 2, "b": 6, "c": 4}
+	for _, ev := range evs {
+		if ev.CPU != wantCPU[ev.Name] {
+			t.Fatalf("event %q on cpu %d, want %d", ev.Name, ev.CPU, wantCPU[ev.Name])
+		}
+	}
+	// Reads through a lane resolve to the root's state.
+	if l1.Total() != 3 || len(l0.Events()) != 3 {
+		t.Fatalf("lane reads diverge from root: total=%d events=%d", l1.Total(), len(l0.Events()))
+	}
+}
+
+func TestLaneComposition(t *testing.T) {
+	root := NewRecorder(Options{Timeline: true})
+	// A lane of a lane offsets by the sum and still records into the root.
+	nested := root.Lane(10).Lane(3)
+	nested.Span(1, "x", "workload", "", 0, 1)
+	evs := root.Events()
+	if len(evs) != 1 || evs[0].CPU != 14 {
+		t.Fatalf("nested lane: got %+v, want one event on cpu 14", evs)
+	}
+}
+
+func TestNodeLanesGroupChromeExport(t *testing.T) {
+	root := NewRecorder(Options{Timeline: true})
+	root.Lane(0).Span(0, "w0", "workload", "", 0, 10)
+	root.Lane(4).Span(1, "w1", "workload", "", 0, 10)
+	root.Instant(4, "place", "cluster", "job0 -> node1", 0)
+	root.SetNodeLanes([]NodeLane{
+		{Name: "node0", CPUBase: 0, NumCPUs: 4},
+		{Name: "node1", CPUBase: 4, NumCPUs: 4},
+	})
+
+	var buf bytes.Buffer
+	if err := root.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var traceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &traceEvents); err != nil {
+		t.Fatalf("invalid chrome JSON: %v", err)
+	}
+
+	procNames := map[int]string{}
+	type placed struct{ pid, tid int }
+	var got = map[string]placed{}
+	for _, ev := range traceEvents {
+		if ev.Name == "process_name" {
+			procNames[ev.Pid] = ev.Args["name"]
+			continue
+		}
+		if ev.Ph == "X" || ev.Ph == "i" {
+			got[ev.Name] = placed{ev.Pid, ev.Tid}
+		}
+	}
+	if procNames[1] != "node0" || procNames[2] != "node1" {
+		t.Fatalf("process names %v, want pid1=node0 pid2=node1", procNames)
+	}
+	if procNames[0] != "cluster" {
+		t.Fatalf("pid 0 named %q, want cluster", procNames[0])
+	}
+	// w0: node0 cpu0 -> pid 1 tid 0. w1: node1 local cpu 1 -> pid 2 tid 1.
+	if got["w0"] != (placed{1, 0}) {
+		t.Fatalf("w0 at %+v, want pid1/tid0", got["w0"])
+	}
+	if got["w1"] != (placed{2, 1}) {
+		t.Fatalf("w1 at %+v, want pid2/tid1", got["w1"])
+	}
+	// Cluster-level instants land on the owning node's lane (cpu 4 = node1).
+	if got["place"].pid != 2 {
+		t.Fatalf("place instant on pid %d, want 2", got["place"].pid)
+	}
+}
+
+func TestLaneFlightDump(t *testing.T) {
+	root := NewRecorder(Options{Ring: 4})
+	lane := root.Lane(8)
+	lane.Span(0, "t", "workload", "", 0, sim.Time(1))
+	f := lane.FlightDump("lane test", nil)
+	if f.Total != 1 {
+		t.Fatalf("flight total = %d, want 1", f.Total)
+	}
+	if len(f.Events) != 1 || f.Events[0].CPU != 8 {
+		t.Fatalf("flight events = %+v, want one event on cpu 8", f.Events)
+	}
+}

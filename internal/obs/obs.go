@@ -87,6 +87,16 @@ type Recorder struct {
 
 	total uint64
 	reg   *Registry
+
+	// root is non-nil on a lane view (see Lane): events recorded through
+	// the view are offset by cpuBase and stored on the root recorder.
+	root    *Recorder
+	cpuBase int
+
+	// lanes, when non-nil, names the per-node CPU blocks of a multi-node
+	// run; WriteChromeJSON groups the export by them (one Perfetto process
+	// per node).
+	lanes []NodeLane
 }
 
 // NewRecorder creates a recorder with the given options.
@@ -111,8 +121,48 @@ func NewRecorder(opt Options) *Recorder {
 	}
 }
 
+// self resolves a lane view to its root recorder; reads always happen on
+// the root, which owns the timeline, ring, and counters.
+func (r *Recorder) self() *Recorder {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// Lane returns a view of r that attributes events to the CPU block
+// starting at base: an event recorded on CPU c through the lane lands on
+// the root recorder as CPU base+c. Lanes let the per-node schedulers of a
+// multi-node simulation share one recorder (one timeline, one flight
+// ring, one registry) while keeping their CPUs in disjoint blocks. A lane
+// of a lane composes offsets. Like the root recorder, a lane is not safe
+// for concurrent use — all per-node schedulers of a run share one engine
+// thread.
+func (r *Recorder) Lane(base int) *Recorder {
+	return &Recorder{root: r.self(), cpuBase: r.cpuBase + base}
+}
+
+// NodeLane names one node's CPU block in the cluster-global numbering,
+// for node-grouped Chrome-trace export.
+type NodeLane struct {
+	// Name labels the node ("node0", "node1 (straggler)").
+	Name string `json:"name"`
+	// CPUBase is the block's first global CPU; NumCPUs its width.
+	CPUBase int `json:"cpu_base"`
+	NumCPUs int `json:"num_cpus"`
+}
+
+// SetNodeLanes declares the per-node CPU blocks of the run the recorder
+// observes. WriteChromeJSON then groups the export by node (one Perfetto
+// process per node) instead of one flat row set.
+func (r *Recorder) SetNodeLanes(lanes []NodeLane) { r.self().lanes = lanes }
+
+// NodeLanes returns the declared per-node CPU blocks, nil for
+// single-node runs.
+func (r *Recorder) NodeLanes() []NodeLane { return r.self().lanes }
+
 // Registry returns the registry run-level counters are published to.
-func (r *Recorder) Registry() *Registry { return r.reg }
+func (r *Recorder) Registry() *Registry { return r.self().reg }
 
 // Span records a complete interval [start, end) on a CPU.
 func (r *Recorder) Span(cpu int, name, cat, arg string, start, end sim.Time) {
@@ -130,6 +180,11 @@ func (r *Recorder) Instant(cpu int, name, cat, arg string, at sim.Time) {
 }
 
 func (r *Recorder) add(ev Event) {
+	if r.root != nil {
+		ev.CPU += r.cpuBase
+		r.root.add(ev)
+		return
+	}
 	r.total++
 	r.ring[r.ringNext] = ev
 	r.ringNext++
@@ -150,18 +205,19 @@ func (r *Recorder) add(ev Event) {
 }
 
 // Total returns how many events were emitted to the recorder.
-func (r *Recorder) Total() uint64 { return r.total }
+func (r *Recorder) Total() uint64 { return r.self().total }
 
 // Dropped returns how many timeline events were discarded by MaxEvents.
-func (r *Recorder) Dropped() uint64 { return r.dropped }
+func (r *Recorder) Dropped() uint64 { return r.self().dropped }
 
 // Events returns the recorded timeline in emission order (empty unless
 // Options.Timeline). The slice is the recorder's own; do not mutate it.
-func (r *Recorder) Events() []Event { return r.timeline }
+func (r *Recorder) Events() []Event { return r.self().timeline }
 
 // Recent returns a copy of the flight ring in emission order: the most
 // recent events, oldest first.
 func (r *Recorder) Recent() []Event {
+	r = r.self()
 	out := make([]Event, 0, r.ringLen)
 	if r.ringLen == len(r.ring) {
 		out = append(out, r.ring[r.ringNext:]...)

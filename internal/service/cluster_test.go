@@ -1,0 +1,175 @@
+package service
+
+// Cluster-job tests of the HTTP API: submissions with an embedded cluster
+// spec run the simulated datacenter, nonsensical cluster configs are
+// rejected with 400 (not a panic), and a resubmitted cluster spec is served
+// from the content-addressed cache without re-execution.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// tinyClusterSpec is a fast deterministic cluster job for tests.
+func tinyClusterSpec(seed uint64, reps int) JobSpec {
+	return JobSpec{
+		Seed: seed, Reps: reps,
+		Cluster: &cluster.Spec{
+			Nodes: 2, Straggler: 1, StragglerScale: 4, Policy: "round-robin",
+			Tenants: 1, JobsPerTenant: 2, Width: 2, WorkerMs: 1, ArrivalMs: 1,
+		},
+	}
+}
+
+func TestClusterSubmitRunFetch(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{})
+	st := submit(t, ts, tinyClusterSpec(5, 3), http.StatusAccepted)
+	st = waitTerminal(t, ts, w, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (err %q), want done", st.State, st.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(fetchResult(t, ts, st.ID), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TimesNs) != 3 || len(res.Cluster) != 3 || res.Summary.N != 3 {
+		t.Fatalf("want 3 reps, got times=%d cluster=%d summary n=%d",
+			len(res.TimesNs), len(res.Cluster), res.Summary.N)
+	}
+	for i, r := range res.Cluster {
+		if r.Jobs != 2 || r.BatchNs <= 0 {
+			t.Fatalf("rep %d malformed: %+v", i, r)
+		}
+		if res.TimesNs[i] != r.BatchNs {
+			t.Fatalf("rep %d: TimesNs %d != BatchNs %d", i, res.TimesNs[i], r.BatchNs)
+		}
+	}
+}
+
+// TestClusterCacheHit is the acceptance criterion: resubmitting the same
+// cluster spec (spelled differently) is served from the cache without
+// re-running the simulation, byte-identical to the first execution.
+func TestClusterCacheHit(t *testing.T) {
+	srv, ts, w := newTestServer(t, Config{})
+	first := submit(t, ts, tinyClusterSpec(9, 2), http.StatusAccepted)
+	st1 := waitTerminal(t, ts, w, first.ID)
+	if st1.State != StateDone || st1.Cached {
+		t.Fatalf("first run: %+v", st1)
+	}
+	payload1 := fetchResult(t, ts, first.ID)
+	if n := srv.Metrics().Executions; n != 1 {
+		t.Fatalf("executions after first run = %d, want 1", n)
+	}
+
+	// Same scenario, representation-only differences: policy case and the
+	// "1 means natural" spelling of the global noise scale.
+	spec2 := tinyClusterSpec(9, 2)
+	spec2.Cluster.Policy = "Round-Robin"
+	spec2.Cluster.NoiseScale = 1.0
+	second := submit(t, ts, spec2, http.StatusOK)
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("second submission not served from cache: %+v", second)
+	}
+	if second.SpecHash != first.SpecHash {
+		t.Fatalf("hashes differ: %s vs %s", second.SpecHash, first.SpecHash)
+	}
+	payload2 := fetchResult(t, ts, second.ID)
+	if !bytes.Equal(payload1, payload2) {
+		t.Fatal("cached payload not byte-identical")
+	}
+	if n := srv.Metrics().Executions; n != 1 {
+		t.Fatalf("executions after cache hit = %d, want 1 (no re-execution)", n)
+	}
+
+	// A semantically different scenario must miss.
+	spec3 := tinyClusterSpec(9, 2)
+	spec3.Cluster.Nodes = 3
+	third := submit(t, ts, spec3, http.StatusAccepted)
+	st3 := waitTerminal(t, ts, w, third.ID)
+	if st3.State != StateDone || st3.SpecHash == first.SpecHash {
+		t.Fatalf("different scenario: %+v (first hash %s)", st3, first.SpecHash)
+	}
+}
+
+// TestClusterSpec400s verifies nonsensical cluster configs are rejected
+// with HTTP 400 by the daemon instead of panicking mid-run.
+func TestClusterSpec400s(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	bad := []struct {
+		name   string
+		mutate func(*JobSpec)
+	}{
+		{"zero nodes", func(s *JobSpec) { s.Cluster.Nodes = 0 }},
+		{"negative nodes", func(s *JobSpec) { s.Cluster.Nodes = -1 }},
+		{"policy typo", func(s *JobSpec) { s.Cluster.Policy = "roundrobin" }},
+		{"unknown preset", func(s *JobSpec) { s.Cluster.Preset = "mainframe" }},
+		{"straggler out of range", func(s *JobSpec) { s.Cluster.Straggler = 7 }},
+		{"negative worker ms", func(s *JobSpec) { s.Cluster.WorkerMs = -1 }},
+		{"zero reps", func(s *JobSpec) { s.Reps = 0 }},
+		{"mixed with platform", func(s *JobSpec) { s.Platform = "tiny-test" }},
+		{"mixed with workload", func(s *JobSpec) { s.Workload = "nbody"; s.Model = "omp" }},
+		{"mixed with tracing", func(s *JobSpec) { s.Tracing = true }},
+		{"mixed with noise scale", func(s *JobSpec) { s.NoiseScale = 2 }},
+	}
+	for _, c := range bad {
+		spec := tinyClusterSpec(1, 1)
+		c.mutate(&spec)
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: HTTP %d (want 400): %s", c.name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestClusterTimeline verifies a cluster job with "timeline": true serves a
+// node-grouped Chrome trace at /timeline.
+func TestClusterTimeline(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{})
+	spec := tinyClusterSpec(3, 1)
+	spec.Timeline = true
+	st := submit(t, ts, spec, http.StatusAccepted)
+	st = waitTerminal(t, ts, w, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (err %q)", st.State, st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("timeline not a trace-event array: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range evs {
+		if ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		}
+	}
+	if !names["node0"] || !names["cluster"] {
+		t.Fatalf("timeline lacks node-grouped processes: %v", names)
+	}
+}

@@ -400,10 +400,6 @@ func (s *Server) runJob(job *Job) {
 
 // execute runs the series on the engine and encodes the result payload.
 func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
-	spec, err := job.Spec.Resolve()
-	if err != nil {
-		return nil, err
-	}
 	// Observability is always armed: the recorder is passive (results stay
 	// byte-identical), the flight ring captures the last scheduling events of
 	// any failing rep, and the kernel counters accumulate on the server
@@ -418,16 +414,19 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 			_ = rec.WriteChromeJSON(&timeline)
 		},
 	}}
+	if job.Spec.Cluster != nil {
+		return s.executeCluster(ctx, job, exec, &timeline)
+	}
+	spec, err := job.Spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
 	times, traces, err := exec.Series(ctx, spec, job.Spec.Reps)
 	if err != nil {
 		return nil, err
 	}
-	if timeline.Len() > 0 {
-		// Store the timeline as a derived entry next to the result: a later
-		// cache hit for this spec can still serve its timeline.
-		if err := s.cache.Put(rescache.DerivedKey(job.Hash, "tl"), timeline.Bytes()); err != nil {
-			return nil, fmt.Errorf("service: storing timeline: %w", err)
-		}
+	if err := s.storeTimeline(job, &timeline); err != nil {
+		return nil, err
 	}
 	res := JobResult{
 		SpecHash:     job.Hash,
@@ -443,6 +442,46 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 		res.Traces = traces
 	}
 	return json.Marshal(res)
+}
+
+// executeCluster runs a cluster job: Reps runs of the embedded scenario,
+// each a pure function of (spec, derived seed). TimesNs carries the per-rep
+// batch completion times so cluster results flow through the same summary
+// and cache machinery as single-node series.
+func (s *Server) executeCluster(ctx context.Context, job *Job, exec experiment.Executor, timeline *bytes.Buffer) ([]byte, error) {
+	results, err := exec.ClusterSeries(ctx, *job.Spec.Cluster, job.Spec.Seed, job.Spec.Reps)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.storeTimeline(job, timeline); err != nil {
+		return nil, err
+	}
+	res := JobResult{
+		SpecHash:     job.Hash,
+		ModelVersion: experiment.ModelVersion,
+		Spec:         job.Spec,
+		TimesNs:      make([]int64, len(results)),
+		Cluster:      results,
+	}
+	batches := make([]float64, len(results))
+	for i, r := range results {
+		res.TimesNs[i] = r.BatchNs
+		batches[i] = float64(r.BatchNs) / 1e6
+	}
+	res.Summary = stats.Summarize(batches)
+	return json.Marshal(res)
+}
+
+// storeTimeline persists a recorded timeline as a derived cache entry next
+// to the result: a later cache hit for this spec can still serve it.
+func (s *Server) storeTimeline(job *Job, timeline *bytes.Buffer) error {
+	if timeline.Len() == 0 {
+		return nil
+	}
+	if err := s.cache.Put(rescache.DerivedKey(job.Hash, "tl"), timeline.Bytes()); err != nil {
+		return fmt.Errorf("service: storing timeline: %w", err)
+	}
+	return nil
 }
 
 // Drain stops accepting submissions and waits for queued and running jobs

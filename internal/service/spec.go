@@ -15,6 +15,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/mitigate"
@@ -60,6 +61,13 @@ type JobSpec struct {
 	// is passive, so the result payload is unaffected; the field still
 	// participates in the spec hash (omitempty keeps legacy hashes stable).
 	Timeline bool `json:"timeline,omitempty"`
+	// Cluster, when non-nil, makes this a simulated-datacenter job: Reps
+	// cluster runs of the embedded scenario instead of a single-node series.
+	// The single-node fields (platform, workload, model, strategy, and the
+	// noise knobs) must be unset — the cluster spec carries its own. Cluster
+	// results hash into the same content-key scheme (omitempty keeps legacy
+	// single-node hashes stable).
+	Cluster *cluster.Spec `json:"cluster,omitempty"`
 }
 
 // Normalize rewrites representation-only variation to canonical form so
@@ -79,11 +87,20 @@ func (s *JobSpec) Normalize() {
 	if s.NoiseScale == 1 {
 		s.NoiseScale = 0
 	}
+	if s.Cluster != nil {
+		s.Cluster.Normalize()
+	}
 }
 
 // Validate checks the spec against the known platforms, workloads, models
-// and strategies, and bounds Reps by maxReps (<=0 means no bound).
+// and strategies, and bounds Reps by maxReps (<=0 means no bound). A
+// cluster spec is validated by the cluster package instead; mixing it with
+// single-node fields is rejected so a submission cannot be ambiguous about
+// which simulation it requests.
 func (s *JobSpec) Validate(maxReps int) error {
+	if s.Cluster != nil {
+		return s.validateCluster(maxReps)
+	}
 	if _, err := platform.New(s.Platform); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
@@ -116,6 +133,28 @@ func (s *JobSpec) Validate(maxReps int) error {
 		if err := s.Inject.Validate(); err != nil {
 			return fmt.Errorf("service: inject config: %w", err)
 		}
+	}
+	return nil
+}
+
+// validateCluster checks a cluster submission: the embedded cluster spec
+// must validate, the single-node fields must be unset, and Reps stays
+// bounded. Errors surface as 400s from the daemon, never panics mid-run.
+func (s *JobSpec) validateCluster(maxReps int) error {
+	if s.Platform != "" || s.Workload != "" || s.Model != "" || s.Strategy != "" || s.Size != "" {
+		return fmt.Errorf("service: cluster jobs must not set platform, workload, model, strategy or size")
+	}
+	if s.Tracing || s.Runlevel3 || s.PinInjectors || s.Inject != nil || s.NoiseScale != 0 {
+		return fmt.Errorf("service: cluster jobs must not set tracing, runlevel3, pin_injectors, inject or noise_scale (the cluster spec has its own noise knobs)")
+	}
+	if err := s.Cluster.Validate(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if s.Reps < 1 {
+		return fmt.Errorf("service: reps %d must be >= 1", s.Reps)
+	}
+	if maxReps > 0 && s.Reps > maxReps {
+		return fmt.Errorf("service: reps %d exceeds the server limit %d", s.Reps, maxReps)
 	}
 	return nil
 }
@@ -175,4 +214,7 @@ type JobResult struct {
 	TimesNs      []int64        `json:"times_ns"`
 	Summary      stats.Summary  `json:"summary_ms"`
 	Traces       []*trace.Trace `json:"traces,omitempty"`
+	// Cluster holds the per-rep cluster results of a cluster job (TimesNs
+	// then carries each rep's batch completion time).
+	Cluster []*cluster.Result `json:"cluster,omitempty"`
 }

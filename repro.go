@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"repro/internal/advisor"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/machine"
@@ -203,6 +204,40 @@ type (
 	// IONoiseSpec builds synthetic I/O-interference storms (§7).
 	IONoiseSpec = core.IONoiseSpec
 )
+
+// Simulated datacenter: the multi-node layer behind `noiselab cluster`.
+type (
+	// ClusterSpec describes one cluster scenario (nodes, straggler,
+	// tenants, fork-join job shape, placement policy).
+	ClusterSpec = cluster.Spec
+	// ClusterRunResult is the deterministic outcome of one cluster run.
+	ClusterRunResult = cluster.Result
+	// ClusterStudy compares placement policies on one scenario.
+	ClusterStudy = experiment.ClusterStudy
+	// ClusterStudyResult holds the study's per-policy cells.
+	ClusterStudyResult = experiment.ClusterStudyResult
+	// ClusterCell is one policy's aggregated outcome.
+	ClusterCell = experiment.ClusterCell
+)
+
+// Placement policy names accepted by ClusterSpec.Policy.
+const (
+	PolicyRandom     = cluster.PolicyRandom
+	PolicyRoundRobin = cluster.PolicyRoundRobin
+	PolicyLeastLoad  = cluster.PolicyLeastLoad
+	PolicyNoiseAware = cluster.PolicyNoiseAware
+)
+
+// PolicyNames lists the available placement policies.
+func PolicyNames() []string { return cluster.PolicyNames() }
+
+// RunCluster executes one cluster run: a pure function of (spec, seed).
+func RunCluster(spec ClusterSpec, seed uint64) (*ClusterRunResult, error) {
+	return cluster.Run(spec, seed, nil)
+}
+
+// StragglerStudySpec returns the headline straggler-sensitivity scenario.
+func StragglerStudySpec() ClusterSpec { return cluster.StragglerStudySpec() }
 
 // DefaultReps returns CI-scale repetition counts (the paper uses
 // 1000/1000/200).
