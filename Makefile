@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-tables bench-quick examples clean cover test-service fuzz-smoke serve
+.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-tables bench-quick benchdiff examples clean cover test-service fuzz-smoke serve
 
 all: build vet test
 
@@ -40,6 +40,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/trace -run xxx -fuzz 'FuzzTraceCodecRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/service -run xxx -fuzz 'FuzzSpecHashCanonical$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiment -run xxx -fuzz 'FuzzBatchEqualsFresh$$' -fuzztime $(FUZZTIME)
 
 # Run the daemon locally with a throwaway cache.
 serve:
@@ -54,10 +55,21 @@ bench:
 # numbers can be diffed. BENCHTIME is overridable for CI smoke runs.
 BENCHTIME ?= 300x
 bench-kernel:
-	{ $(GO) test . -run xxx -bench 'BenchmarkSimulatedRun$$' -benchmem -benchtime $(BENCHTIME) -timeout 1h; \
+	{ $(GO) test . -run xxx -bench 'BenchmarkSimulatedRun$$|BenchmarkSimulatedRunBatch$$|BenchmarkSnapshotSweep$$' -benchmem -benchtime $(BENCHTIME) -timeout 1h; \
 	  $(GO) test ./internal/sim/ ./internal/cpusched/ -run xxx -bench . -benchmem -benchtime $(BENCHTIME) -timeout 1h; } \
-	| $(GO) run ./cmd/benchjson -note "seed baseline (same host, -benchtime 300x): BenchmarkSimulatedRun 1310180 ns/op, 771925 B/op, 10039 allocs/op" > BENCH_kernel.json
+	| $(GO) run ./cmd/benchjson -note "trajectory (same host, -benchtime 300x, host is a noisy VM so compare allocs and paired same-day minima, not raw ns across files): seed BenchmarkSimulatedRun 1310180 ns/op / 771925 B/op / 10039 allocs/op; this file's batched rep runs ~1.37x faster than the unbatched pre-batch kernel in interleaved same-host A/B (minima), at 251 allocs/rep vs 1225" > BENCH_kernel.json
 	@cat BENCH_kernel.json
+
+# Regression gate: run the end-to-end kernel benchmark fresh and compare it
+# against the committed BENCH_kernel.json. BENCHDIFF_FAIL_OVER is the
+# new/old ns/op ratio above which matched benchmarks fail the diff (0 =
+# report only); BENCHDIFF_MATCH limits which benchmarks gate. CI runs this
+# with a 1.25 threshold before regenerating the evidence.
+BENCHDIFF_FAIL_OVER ?= 0
+BENCHDIFF_MATCH ?= BenchmarkSimulatedRun$$
+benchdiff:
+	$(GO) test . -run xxx -bench 'BenchmarkSimulatedRun$$|BenchmarkSimulatedRunBatch$$' -benchmem -benchtime $(BENCHTIME) -timeout 1h \
+	| $(GO) run ./cmd/benchdiff -old BENCH_kernel.json -match '$(BENCHDIFF_MATCH)' -fail-over $(BENCHDIFF_FAIL_OVER)
 
 # Observability overhead evidence: the bare run against the obs recorder's
 # off/counters/timeline modes, recorded as committed JSON. The "off" case

@@ -510,6 +510,98 @@ func BenchmarkSimulatedRun(b *testing.B) {
 	b.ReportMetric(float64(last.InlineDispatches), "inline/run")
 }
 
+// BenchmarkSimulatedRunBatch is BenchmarkSimulatedRun through the batched
+// executor path: one warm world whose engine and scheduler are forked back
+// to their construction snapshots between reps, instead of a fresh pair
+// per run. The ns/op gap to BenchmarkSimulatedRun is the per-rep
+// construction cost the snapshot path saves; outputs are byte-identical
+// (the setup re-verifies one seed against RunOnce, the golden fixtures pin
+// the full matrix).
+func BenchmarkSimulatedRunBatch(b *testing.B) {
+	p, err := platform.New(Intel9700KF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := p.WorkloadSpec("nbody")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := func(seed uint64) Spec {
+		return Spec{Platform: p, Workload: w, Model: "omp", Strategy: Rm,
+			Seed: seed, Tracing: true}
+	}
+	exec := Executor{Parallelism: 1, Batch: BatchOn, Worlds: NewWorldPool()}
+	// Warm the pool outside the timer so the measured steady state is the
+	// forked-world rep, not the one-time world construction, and spot-check
+	// byte-identity of a warm rep against the legacy path.
+	warm, _, err := RunSeriesExec(context.Background(), exec, spec(benchSeed), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh, err := RunOnce(spec(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm[0] != fresh.ExecTime {
+		b.Fatalf("batched rep %v != fresh rep %v", warm[0], fresh.ExecTime)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunSeriesExec(context.Background(), exec, spec(uint64(i)), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotSweep prices the batch path on a realistic multi-series
+// flow: a small intensity sweep whose config hunt, per-strategy baselines,
+// and injected points all share one warm-world pool — exactly the many
+// short series the pool amortizes across. The setup runs the same sweep
+// with batching off, verifies the points are identical, and reports the
+// wall-clock ratio as speedup-x; the timed loop then measures the batched
+// sweep.
+func BenchmarkSnapshotSweep(b *testing.B) {
+	p, err := platform.New(Intel9700KF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := func(batch BatchPolicy) ([]IntensityPoint, error) {
+		return IntensitySweep{
+			Platform:   p,
+			Workload:   "nbody",
+			Model:      "omp",
+			Strategies: []Strategy{Rm, RmHK},
+			Factors:    []float64{1, 2},
+			Reps:       RepCounts{Collect: 20, Baseline: 4, Inject: 4},
+			Seed:       benchSeed,
+			Exec:       Executor{Parallelism: 1, Batch: batch},
+		}.Run()
+	}
+	t0 := time.Now()
+	off, err := sweep(BatchOff)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offDur := time.Since(t0)
+	t0 = time.Now()
+	on, err := sweep(BatchOn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	onDur := time.Since(t0)
+	if fmt.Sprint(off) != fmt.Sprint(on) {
+		b.Fatalf("batched sweep diverged from unbatched:\noff: %v\non:  %v", off, on)
+	}
+	b.ReportMetric(float64(offDur)/float64(onDur), "speedup-x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep(BatchOn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatedRunObs is BenchmarkSimulatedRun with the passive
 // observability recorder attached in each of its three modes. Compare the
 // "off" case against BenchmarkSimulatedRun to verify the disabled path

@@ -1,0 +1,87 @@
+// Command benchdiff compares a fresh `go test -bench` run (stdin) against a
+// committed benchmark JSON document (see cmd/benchjson) and prints a
+// per-benchmark ratio table. With -fail-over it exits non-zero when any
+// benchmark matching -match regressed beyond the given ratio — the CI gate
+// against accidental kernel slowdowns. Usage:
+//
+//	go test . -run xxx -bench 'BenchmarkSimulatedRun$' -benchtime 20x \
+//	  | benchdiff -old BENCH_kernel.json -match 'BenchmarkSimulatedRun$' -fail-over 1.25
+//
+// Ratios are new/old ns/op: 1.00 = unchanged, above 1 = slower. Benchmarks
+// present on only one side are reported but never gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/benchjson"
+)
+
+func key(r benchjson.Result) string {
+	return r.Package + "/" + benchjson.BaseName(r.Name)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_kernel.json", "committed baseline JSON document")
+	failOver := flag.Float64("fail-over", 0, "exit 1 when a matched benchmark's new/old ns/op ratio exceeds this (0 = report only)")
+	match := flag.String("match", ".", "regexp selecting which benchmarks the -fail-over gate applies to")
+	flag.Parse()
+
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -match:", err)
+		os.Exit(2)
+	}
+	old, err := benchjson.Load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(fresh.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	baseline := map[string]benchjson.Result{}
+	for _, r := range old.Results {
+		baseline[key(r)] = r
+	}
+
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	failed := false
+	seen := map[string]bool{}
+	for _, r := range fresh.Results {
+		k := key(r)
+		seen[k] = true
+		name := benchjson.BaseName(r.Name)
+		b, ok := baseline[k]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Printf("%-52s %14s %14.0f %8s\n", name, "-", r.NsPerOp, "new")
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		mark := ""
+		if *failOver > 0 && ratio > *failOver && re.MatchString(name) {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %7.2fx%s\n", name, b.NsPerOp, r.NsPerOp, ratio, mark)
+	}
+	for _, r := range old.Results {
+		if !seen[key(r)] {
+			fmt.Printf("%-52s %14.0f %14s %8s\n", benchjson.BaseName(r.Name), r.NsPerOp, "-", "gone")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.2fx against %s\n", *failOver, *oldPath)
+		os.Exit(1)
+	}
+}

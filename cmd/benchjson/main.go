@@ -7,91 +7,23 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchjson"
 )
-
-// Result is one benchmark line.
-type Result struct {
-	Name    string             `json:"name"`
-	Package string             `json:"package,omitempty"`
-	Iters   int64              `json:"iters"`
-	NsPerOp float64            `json:"ns_per_op"`
-	BPerOp  float64            `json:"b_per_op,omitempty"`
-	Allocs  float64            `json:"allocs_per_op,omitempty"`
-	Extra   map[string]float64 `json:"extra,omitempty"`
-}
-
-// Doc is the whole document.
-type Doc struct {
-	Go      string   `json:"go,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Note    string   `json:"note,omitempty"`
-	Results []Result `json:"results"`
-}
 
 func main() {
 	note := flag.String("note", "", "free-form note embedded in the document (e.g. the baseline being compared against)")
 	flag.Parse()
-	doc := Doc{Note: *note}
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-			continue
-		case strings.HasPrefix(line, "cpu: "):
-			doc.CPU = strings.TrimPrefix(line, "cpu: ")
-			continue
-		case strings.HasPrefix(line, "goos: "), strings.HasPrefix(line, "goarch: "):
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		r := Result{Name: fields[0], Package: pkg, Iters: iters}
-		// Remaining fields come in "<value> <unit>" pairs.
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				r.NsPerOp = v
-			case "B/op":
-				r.BPerOp = v
-			case "allocs/op":
-				r.Allocs = v
-			default:
-				if r.Extra == nil {
-					r.Extra = map[string]float64{}
-				}
-				r.Extra[fields[i+1]] = v
-			}
-		}
-		doc.Results = append(doc.Results, r)
-	}
-	if err := sc.Err(); err != nil {
+	doc, err := benchjson.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	doc.Note = *note
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -49,10 +49,25 @@ func writeTimelineOut(rec *obs.Recorder) {
 	})
 }
 
+// gWorlds is the process-wide warm-world pool: every study-running
+// subcommand's executor shares it, so worlds built for one series are
+// forked and reused by the next (lazily created like the obs registry).
+var (
+	gWorldsOnce sync.Once
+	gWorlds     *repro.WorldPool
+)
+
+func worldPool() *repro.WorldPool {
+	gWorldsOnce.Do(func() { gWorlds = repro.NewWorldPool() })
+	return gWorlds
+}
+
 // newExec builds the executor every study-running subcommand shares,
-// honoring the global -parallel, -v, -obs and -timeline-out flags.
+// honoring the global -parallel, -batch, -v, -obs and -timeline-out flags.
 func newExec() repro.Executor {
-	e := repro.Executor{Parallelism: gParallel}
+	// gBatch was validated at startup; the zero policy on error is BatchAuto.
+	batch, _ := repro.ParseBatchPolicy(gBatch)
+	e := repro.Executor{Parallelism: gParallel, Batch: batch, Worlds: worldPool()}
 	if gVerbose {
 		e.OnCell = func(done, total int, label string) {
 			fmt.Fprintf(os.Stderr, "cell %d/%d %s\n", done, total, label)
@@ -156,6 +171,8 @@ func cmdRun(args []string) error {
 	if gVerbose {
 		fmt.Printf("kernel: ctxswitches=%d inline-dispatches=%d goroutine-handoffs=%d\n",
 			res.ContextSwitches, res.InlineDispatches, res.GoroutineHandoffs)
+		fmt.Printf("batch: snapshots/run=%d cow-copies/run=%d batched-reps/run=%d\n",
+			res.Snapshots, res.CowCopies, res.BatchedReps)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -1,0 +1,126 @@
+// Package benchjson parses `go test -bench` output into a structured
+// document and loads previously committed documents back, so benchmark
+// evidence (ns/op, B/op, allocs/op and custom metrics such as
+// context-switch counts) can be committed, diffed, and gated on.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	BPerOp  float64            `json:"b_per_op,omitempty"`
+	Allocs  float64            `json:"allocs_per_op,omitempty"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the whole document.
+type Doc struct {
+	Go      string   `json:"go,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Find returns the first result whose name matches exactly (including the
+// -N GOMAXPROCS suffix go test appends), or nil.
+func (d *Doc) Find(name string) *Result {
+	for i := range d.Results {
+		if d.Results[i].Name == name {
+			return &d.Results[i]
+		}
+	}
+	return nil
+}
+
+// BaseName strips the -N GOMAXPROCS suffix from a benchmark name
+// ("BenchmarkSimulatedRun-8" → "BenchmarkSimulatedRun").
+func BaseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Parse reads `go test -bench` text output and returns the document.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "goos: "), strings.HasPrefix(line, "goarch: "):
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Package: pkg, Iters: iters}
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BPerOp = v
+			case "allocs/op":
+				r.Allocs = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Load reads a committed benchmark JSON document from disk.
+func Load(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(raw, doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

@@ -1,0 +1,63 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkSimulatedRun-8   	     300	   1097335 ns/op	        210.0 ctxsw/run	  352890 B/op	    1236 allocs/op
+BenchmarkOther-8          	     100	    500000 ns/op
+PASS
+ok  	repro	2.1s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkSimulatedRun-8" || r.Package != "repro" || r.Iters != 300 {
+		t.Errorf("result header = %+v", r)
+	}
+	if r.NsPerOp != 1097335 || r.BPerOp != 352890 || r.Allocs != 1236 {
+		t.Errorf("metrics = %+v", r)
+	}
+	if r.Extra["ctxsw/run"] != 210 {
+		t.Errorf("extra = %+v", r.Extra)
+	}
+}
+
+func TestFind(t *testing.T) {
+	doc, _ := Parse(strings.NewReader(sample))
+	if doc.Find("BenchmarkOther-8") == nil {
+		t.Error("Find missed an existing result")
+	}
+	if doc.Find("BenchmarkOther") != nil {
+		t.Error("Find matched a base name; it must be exact")
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSimulatedRun-8": "BenchmarkSimulatedRun",
+		"BenchmarkSimulatedRun":   "BenchmarkSimulatedRun",
+		"BenchmarkX/sub-case-16":  "BenchmarkX/sub-case",
+		"BenchmarkWith-Dash":      "BenchmarkWith-Dash",
+	}
+	for in, want := range cases {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

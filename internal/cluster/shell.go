@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cpusched"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Shell is the seed-independent construction prefix of a cluster world: the
+// cluster topology, the node platform, one shared engine, and one scheduler
+// per node, all built once and forked back to their construction snapshots
+// after every rep. Everything seed-dependent — per-node noise generators,
+// the placement policy, the tenants — is rebuilt per rep in the exact order
+// NewWorld builds it, so a rep run in a warm shell is byte-identical to one
+// in a fresh world (scheduler construction touches no engine state, which is
+// why pre-building the schedulers cannot shift an event sequence number).
+//
+// A shell is single-threaded like the engine it wraps: one rep at a time.
+// Parallel cluster series use one shell per in-flight rep.
+type Shell struct {
+	spec   Spec // validated, defaults applied
+	mc     *machine.Cluster
+	p      *platform.Platform
+	batch  *sim.Batch
+	scheds []*cpusched.Scheduler
+	snaps  []cpusched.Snapshot
+
+	// Per-run batch counters, reported by the last Run.
+	Snapshots   uint64
+	CowCopies   uint64
+	BatchedReps uint64
+
+	warm bool
+}
+
+// NewShell builds the shared prefix for a cluster spec.
+func NewShell(spec Spec) (*Shell, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	mc, err := spec.buildCluster()
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.nodePlatform()
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shell{spec: spec, mc: mc, p: p, batch: sim.NewBatch()}
+	for _, n := range mc.Nodes {
+		sched := cpusched.New(sh.batch.Engine(), n.Topo, p.SchedOpt)
+		sh.scheds = append(sh.scheds, sched)
+		sh.snaps = append(sh.snaps, sched.Snapshot())
+	}
+	return sh, nil
+}
+
+// reset forks every scheduler and the shared engine back to their
+// construction snapshots, leaving the shell pristine for the next rep. It
+// runs on every exit path of Run — including errors — so an erroring rep
+// can never leak state into the next one.
+func (sh *Shell) reset() {
+	for i, s := range sh.scheds {
+		s.Fork(sh.snaps[i])
+	}
+	sh.batch.Fork()
+	sh.warm = true
+}
+
+// Run executes one rep in the shell: the exact NewWorld construction
+// sequence minus what the shell already holds, then the world's run loop,
+// then a fork back to the construction snapshots. rec may be nil.
+func (sh *Shell) Run(seed uint64, rec *obs.Recorder) (*Result, error) {
+	eng := sh.batch.Engine()
+	timerAllocs0 := eng.TimerAllocs
+	var taskAllocs0 uint64
+	for _, s := range sh.scheds {
+		taskAllocs0 += s.TaskAllocs
+	}
+
+	spec := sh.spec
+	rng := sim.NewRNG(seed)
+	w := &World{Eng: eng, Cluster: sh.mc, rec: rec, spec: spec}
+	var lanes []obs.NodeLane
+	for i, n := range sh.mc.Nodes {
+		sched := sh.scheds[i]
+		base := sh.mc.CPUBase(i)
+		if rec != nil {
+			sched.SetObserver(rec.Lane(base))
+			name := n.Name
+			if spec.stragglerActive() && i == spec.Straggler {
+				name = fmt.Sprintf("%s (straggler x%g)", n.Name, spec.StragglerScale)
+			}
+			lanes = append(lanes, obs.NodeLane{Name: name, CPUBase: base, NumCPUs: n.Topo.NumCPUs()})
+		}
+		prof := sh.p.Noise
+		if f := n.EffectiveNoise(); f != 1 {
+			prof = prof.Scale(f)
+		}
+		gen := noise.Attach(sched, prof, rng.Stream(fmt.Sprintf("node%d/noise", i)), noiseHorizon)
+		w.Nodes = append(w.Nodes, &NodeState{
+			Node: n, Sched: sched, Gen: gen, CPUBase: base,
+		})
+	}
+	if rec != nil {
+		rec.SetNodeLanes(lanes)
+	}
+
+	pol, err := NewPolicy(spec.Policy, rng.Stream("gs/policy"))
+	if err != nil {
+		sh.reset()
+		return nil, err
+	}
+	w.gs = newGlobalSched(w, pol)
+
+	width := spec.Width
+	if width == 0 {
+		width = sh.mc.Nodes[0].Topo.Cores
+	}
+	meanCycles := spec.WorkerMs * 1e6 * sh.mc.Nodes[0].Topo.CyclesPerNs()
+	gapNs := spec.ArrivalMs * 1e6
+	for t := 0; t < spec.Tenants; t++ {
+		tn := newTenant(t, w, spec.JobsPerTenant, width, meanCycles, gapNs,
+			rng.Stream(fmt.Sprintf("tenant%d", t)))
+		w.tenants = append(w.tenants, tn)
+	}
+
+	sh.Snapshots, sh.BatchedReps = 1, 0
+	if sh.warm {
+		sh.Snapshots, sh.BatchedReps = 0, 1
+	}
+	res, err := w.Run()
+	var taskAllocs uint64
+	for _, s := range sh.scheds {
+		taskAllocs += s.TaskAllocs
+	}
+	sh.CowCopies = (eng.TimerAllocs - timerAllocs0) + (taskAllocs - taskAllocs0)
+	sh.reset()
+	return res, err
+}
+
+// Run builds a world from spec and runs it to completion: the one-call
+// form callers outside the package use. rec may be nil. It runs through a
+// cold shell, which is the legacy build-every-rep path — callers that want
+// warm-shell batching hold a Shell and call its Run per rep.
+func Run(spec Spec, seed uint64, rec *obs.Recorder) (*Result, error) {
+	sh, err := NewShell(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Run(seed, rec)
+}

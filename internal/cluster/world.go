@@ -235,13 +235,3 @@ func (w *World) publishCounters() {
 	reg.Counter("repro_obs_events_dropped_total",
 		"Timeline events dropped by the buffer cap.").Add(w.rec.Dropped())
 }
-
-// Run builds a world from spec and runs it to completion: the one-call
-// form callers outside the package use. rec may be nil.
-func Run(spec Spec, seed uint64, rec *obs.Recorder) (*Result, error) {
-	w, err := NewWorld(spec, seed, rec)
-	if err != nil {
-		return nil, err
-	}
-	return w.Run()
-}

@@ -55,13 +55,18 @@ func (s *Scheduler) endIRQ(c *cpuState) {
 	if s.tracer != nil {
 		s.tracer.IRQRan(c.id, class, source, start, s.eng.Now())
 	}
-	if len(c.irqQ) > 0 {
-		next := c.irqQ[0]
-		c.irqQ = c.irqQ[1:]
+	if c.irqHead < len(c.irqQ) {
+		next := c.irqQ[c.irqHead]
+		c.irqHead++
 		s.startIRQ(c, next.class, next.source, next.dur)
 		// Tracing overhead applies once the CPU is interruptible again.
 		return
 	}
+	// Queue drained: rewind to the start of the backing array so the next
+	// back-to-back burst appends without reallocating (a plain [1:] reslice
+	// would shed the consumed prefix's capacity every burst).
+	c.irqQ = c.irqQ[:0]
+	c.irqHead = 0
 	if c.curr != nil {
 		s.refresh(c.curr)
 	}

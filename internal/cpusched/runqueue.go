@@ -40,6 +40,14 @@ type taskQueue struct {
 
 func (q *taskQueue) len() int { return len(q.h) }
 
+// reset empties the queue, keeping its backing array warm for reuse.
+func (q *taskQueue) reset() {
+	for i := range q.h {
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+}
+
 // tasks exposes the heap array for order-independent scans (max-vruntime
 // on yield, balancer victim search). Callers must not assume any ordering
 // beyond the heap invariant and must not mutate the slice.

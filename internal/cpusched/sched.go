@@ -2,6 +2,7 @@ package cpusched
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"repro/internal/machine"
@@ -75,7 +76,10 @@ type cpuState struct {
 	irqClass  NoiseClass
 	irqSource string
 	irqEndFn  func()
-	irqQ      []pendingIRQ
+	// irqQ is the pending-interrupt queue: appended at the tail, consumed
+	// via irqHead so the backing array survives each burst intact.
+	irqQ    []pendingIRQ
+	irqHead int
 
 	// pendingSteal is accumulated tracing overhead not yet charged to a
 	// running task on this CPU.
@@ -128,6 +132,14 @@ type Scheduler struct {
 	// nest (a released spinner may immediately arrive at, and release,
 	// another barrier from within processRequests).
 	barScratch []*barrierScratch
+
+	// taskPool recycles finished inline-program tasks across Fork cycles.
+	// Only program-path tasks are pooled: a killed imperative body's
+	// goroutine may still be unwinding and reading its channel fields, so
+	// those structs are never reused. TaskAllocs counts pool misses — the
+	// scheduler-side "copy on first write" count of a forked rep.
+	taskPool   []*Task
+	TaskAllocs uint64
 
 	// kindTime accumulates CPU time per logical CPU per task kind, for
 	// attribution analyses (e.g. how much injected noise a housekeeping
@@ -249,9 +261,6 @@ func (s *Scheduler) Spawn(spec TaskSpec, body func(*Ctx)) *Task {
 	}
 	t := s.newTask(spec)
 	t.body = body
-	t.reqCh = make(chan request)
-	t.resumeCh = make(chan struct{})
-	t.killCh = make(chan struct{})
 	s.start(t)
 	return t
 }
@@ -292,27 +301,35 @@ func (s *Scheduler) newTask(spec TaskSpec) *Task {
 		src = spec.Name
 	}
 	s.nextID++
-	t := &Task{
-		ID:         s.nextID,
-		Name:       spec.Name,
-		Source:     src,
-		Kind:       spec.Kind,
-		policy:     spec.Policy,
-		rtprio:     spec.RTPrio,
-		nice:       spec.Nice,
-		affinity:   aff,
-		state:      StateNew,
-		cpu:        -1,
-		lastRunCPU: -1,
-		qIndex:     -1,
-		sched:      s,
-		seg:        segment{kind: segNone},
+	var t *Task
+	if n := len(s.taskPool); n > 0 {
+		t = s.taskPool[n-1]
+		s.taskPool[n-1] = nil
+		s.taskPool = s.taskPool[:n-1]
+	} else {
+		t = &Task{sched: s}
+		// Bound once per struct: the callbacks close over the task pointer,
+		// so a pooled task carries them across Fork cycles.
+		t.segDoneFn = func() { s.onSegmentDone(t) }
+		t.wakeFn = func() {
+			t.wakeTimer = nil
+			s.wake(t)
+		}
+		s.TaskAllocs++
 	}
-	t.segDoneFn = func() { s.onSegmentDone(t) }
-	t.wakeFn = func() {
-		t.wakeTimer = nil
-		s.wake(t)
-	}
+	t.ID = s.nextID
+	t.Name = spec.Name
+	t.Source = src
+	t.Kind = spec.Kind
+	t.policy = spec.Policy
+	t.rtprio = spec.RTPrio
+	t.nice = spec.Nice
+	t.affinity = aff
+	t.state = StateNew
+	t.cpu = -1
+	t.lastRunCPU = -1
+	t.qIndex = -1
+	t.seg = segment{kind: segNone}
 	return t
 }
 
@@ -344,7 +361,11 @@ func (s *Scheduler) Kill(t *Task) {
 		t.state = StateDone
 	}
 	if t.started && t.prog == nil {
-		close(t.killCh)
+		// Unwind the parked body: its pending yield returns false and the
+		// killSignal panic pops its frames. Kill only runs on the engine
+		// thread, when the body is parked in (or irreversibly headed to)
+		// a yield, so stop cannot interleave with a running body.
+		t.stop()
 	}
 	s.finishCallbacks(t)
 }
@@ -401,11 +422,12 @@ func (s *Scheduler) fetchNext(t *Task) request {
 	s.GoroutineHandoffs++
 	if !t.started {
 		t.started = true
-		go t.run()
-	} else {
-		t.resumeCh <- struct{}{}
+		t.next, t.stop = iter.Pull(t.seq)
 	}
-	return <-t.reqCh
+	if r, ok := t.next(); ok {
+		return r
+	}
+	return request{kind: reqDone}
 }
 
 // ---- rate model and accounting ----

@@ -1,0 +1,118 @@
+package cpusched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// forkScenario runs a small mixed workload to completion and returns its
+// observable outcome: finish time plus the scheduler counters.
+func forkScenario(s *Scheduler) (sim.Time, uint64, uint64) {
+	a := s.Spawn(TaskSpec{Name: "a"}, computeBody(3e8))
+	b := s.Spawn(TaskSpec{Name: "b", Policy: PolicyFIFO, RTPrio: 10,
+		Affinity: machine.SetOf(0)}, computeBody(1e8))
+	c := s.Spawn(TaskSpec{Name: "c", Affinity: machine.SetOf(0)}, computeBody(6e8))
+	s.eng.RunWhile(func() bool { return !a.Done() || !b.Done() || !c.Done() })
+	return s.eng.Now(), s.ContextSwitches, s.GoroutineHandoffs
+}
+
+// TestSchedulerForkByteIdentical proves a forked scheduler replays a
+// workload with exactly the outcome of a fresh one: same finish time, same
+// dispatch counts, same task IDs — the unit-level form of the golden
+// batch-vs-legacy guarantee.
+func TestSchedulerForkByteIdentical(t *testing.T) {
+	topo := machine.MustPreset(machine.TinyTest)
+
+	fresh := New(sim.NewEngine(), topo, noBalance())
+	ft, fc, fh := forkScenario(fresh)
+	fresh.Shutdown()
+
+	batch := sim.NewBatch()
+	s := New(batch.Engine(), topo, noBalance())
+	snap := s.Snapshot()
+	for round := 0; round < 3; round++ {
+		gt, gc, gh := forkScenario(s)
+		if gt != ft || gc != fc || gh != fh {
+			t.Fatalf("round %d diverged: time=%v switches=%d handoffs=%d, fresh time=%v switches=%d handoffs=%d",
+				round, gt, gc, gh, ft, fc, fh)
+		}
+		s.Shutdown()
+		s.Fork(snap)
+		batch.Fork()
+		if s.nextID != 0 || len(s.tasks) != 0 || s.liveTasks != 0 {
+			t.Fatalf("round %d: fork left state: nextID=%d tasks=%d live=%d",
+				round, s.nextID, len(s.tasks), s.liveTasks)
+		}
+		if batch.Engine().Now() != 0 || batch.Engine().Pending() != 0 {
+			t.Fatalf("round %d: engine not rewound: now=%v pending=%d",
+				round, batch.Engine().Now(), batch.Engine().Pending())
+		}
+	}
+}
+
+// TestSchedulerForkMidRun kills an unfinished workload via Fork and checks
+// the next rep still matches a fresh scheduler — the erroring-rep teardown
+// path of the batch executor.
+func TestSchedulerForkMidRun(t *testing.T) {
+	topo := machine.MustPreset(machine.TinyTest)
+
+	fresh := New(sim.NewEngine(), topo, noBalance())
+	ft, fc, fh := forkScenario(fresh)
+	fresh.Shutdown()
+
+	batch := sim.NewBatch()
+	s := New(batch.Engine(), topo, noBalance())
+	snap := s.Snapshot()
+	// Abort a run mid-flight: tasks are still queued or running.
+	s.Spawn(TaskSpec{Name: "doomed"}, computeBody(9e9))
+	s.Spawn(TaskSpec{Name: "doomed2", Affinity: machine.SetOf(1)}, computeBody(9e9))
+	batch.Engine().RunUntil(sim.Millisecond)
+	s.Shutdown()
+	s.Fork(snap)
+	batch.Fork()
+
+	gt, gc, gh := forkScenario(s)
+	if gt != ft || gc != fc || gh != fh {
+		t.Fatalf("post-abort rep diverged: time=%v switches=%d handoffs=%d, fresh time=%v switches=%d handoffs=%d",
+			gt, gc, gh, ft, fc, fh)
+	}
+}
+
+// TestSchedulerSnapshotAfterSpawnPanics pins the pristine-only contract.
+func TestSchedulerSnapshotAfterSpawnPanics(t *testing.T) {
+	s := newTiny(noBalance())
+	s.Spawn(TaskSpec{Name: "w"}, computeBody(1e6))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot after Spawn did not panic")
+		}
+		s.Shutdown()
+	}()
+	s.Snapshot()
+}
+
+// TestTaskPoolRecyclesProgramTasks verifies inline-program task structs are
+// recycled across forks: the second rep materializes no fresh tasks.
+func TestTaskPoolRecyclesProgramTasks(t *testing.T) {
+	topo := machine.MustPreset(machine.TinyTest)
+	batch := sim.NewBatch()
+	s := New(batch.Engine(), topo, noBalance())
+	snap := s.Snapshot()
+
+	runProg := func() {
+		tk := s.SpawnSeq(TaskSpec{Name: "p"}, ReqCompute(3e6))
+		s.eng.RunWhile(func() bool { return !tk.Done() })
+		s.Shutdown()
+		s.Fork(snap)
+		batch.Fork()
+	}
+	runProg()
+	allocs := s.TaskAllocs
+	runProg()
+	if s.TaskAllocs != allocs {
+		t.Fatalf("second rep materialized %d fresh tasks, want 0 (pool holds the first rep's)",
+			s.TaskAllocs-allocs)
+	}
+}

@@ -197,14 +197,17 @@ type Task struct {
 	lastRunCPU int
 
 	sched *Scheduler
-	// Exactly one of body (imperative goroutine path) and prog (inline
-	// program path) is set. The channels exist only on the goroutine path.
-	body     func(*Ctx)
-	prog     Program
-	reqCh    chan request
-	resumeCh chan struct{}
-	killCh   chan struct{}
-	started  bool
+	// Exactly one of body (imperative coroutine path) and prog (inline
+	// program path) is set. next/stop/yield exist only on the coroutine
+	// path: next resumes the body and returns its next request, stop
+	// aborts a parked body, and yield parks the body until the scheduler
+	// fetches again (all three from iter.Pull, created at first fetch).
+	body    func(*Ctx)
+	prog    Program
+	next    func() (request, bool)
+	stop    func()
+	yield   func(request) bool
+	started bool
 
 	seg          segment
 	remaining    float64
@@ -249,6 +252,23 @@ type Task struct {
 	Preempted  int
 }
 
+// recycle strips a finished inline-program task for pooled reuse, keeping
+// only the identity-bound pieces: the scheduler pointer and the two timer
+// callbacks, which close over the task pointer itself and so remain valid
+// across reuse. Everything else resets to the state a fresh struct would
+// have after newTask's common field assignments.
+func (t *Task) recycle() {
+	sched, segDone, wake := t.sched, t.segDoneFn, t.wakeFn
+	*t = Task{
+		sched:      sched,
+		segDoneFn:  segDone,
+		wakeFn:     wake,
+		cpu:        -1,
+		lastRunCPU: -1,
+		qIndex:     -1,
+	}
+}
+
 // State returns the task's lifecycle state.
 func (t *Task) State() TaskState { return t.state }
 
@@ -269,35 +289,33 @@ func (t *Task) weight() float64 {
 	return 1024 * math.Pow(1.25, -float64(t.nice))
 }
 
-// run executes the task body on its own goroutine under the coroutine
-// protocol. Any ctx call aborts with killSignal once the task is killed.
-func (t *Task) run() {
+// seq runs the task body as a pull coroutine (iter.Pull): each yielded
+// request parks the body — one runtime coroutine switch — until the
+// scheduler fetches the next request. This replaced an unbuffered-channel
+// ping-pong whose two goroutine-scheduler round trips per handoff were
+// measurable on the master task of every rep. The body only ever executes
+// while the engine thread waits inside next(), so body and engine never
+// run concurrently. When the body returns, the sequence ends and fetchNext
+// reads the exhaustion as the task's completion; a kill unwinds the body
+// by making its parked yield return false.
+func (t *Task) seq(yield func(request) bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killSignal); ok {
-				return // killed: engine no longer listens; just exit
+				return // killed: unwound by stop
 			}
 			panic(r)
 		}
 	}()
+	t.yield = yield
 	t.body(&Ctx{t: t, s: t.sched})
-	t.send(request{kind: reqDone})
 }
 
-// send hands a request to the engine thread, aborting if killed.
+// send yields a request to the scheduler, parking the body until the next
+// fetch. It aborts the body when the task has been killed (stop makes the
+// pending yield return false).
 func (t *Task) send(r request) {
-	select {
-	case t.reqCh <- r:
-	case <-t.killCh:
-		panic(killSignal{})
-	}
-}
-
-// await blocks until the engine resumes the body, aborting if killed.
-func (t *Task) await() {
-	select {
-	case <-t.resumeCh:
-	case <-t.killCh:
+	if !t.yield(r) {
 		panic(killSignal{})
 	}
 }
@@ -315,7 +333,6 @@ func (c *Ctx) Compute(cycles float64) {
 		return
 	}
 	c.t.send(request{kind: reqCompute, demand: cycles})
-	c.t.await()
 }
 
 // Memory streams the given number of bytes through the memory system,
@@ -325,14 +342,12 @@ func (c *Ctx) Memory(bytes float64) {
 		return
 	}
 	c.t.send(request{kind: reqMemory, demand: bytes})
-	c.t.await()
 }
 
 // SleepUntil blocks the task (releasing its CPU) until simulated time at.
 // If at is in the past it returns immediately.
 func (c *Ctx) SleepUntil(at sim.Time) {
 	c.t.send(request{kind: reqSleepUntil, until: at})
-	c.t.await()
 }
 
 // Sleep blocks the task for d nanoseconds of simulated time.
@@ -343,27 +358,23 @@ func (c *Ctx) Sleep(d sim.Time) { c.SleepUntil(c.Now() + d) }
 // releases the CPU.
 func (c *Ctx) Barrier(b *Barrier, spin bool) {
 	c.t.send(request{kind: reqBarrier, bar: b, spin: spin})
-	c.t.await()
 }
 
 // SetPolicy switches the task's scheduling class; takes no simulated time.
 // The task's niceness is preserved.
 func (c *Ctx) SetPolicy(p Policy, rtprio int) {
 	c.t.send(request{kind: reqSetPolicy, policy: p, rtprio: rtprio, nice: c.t.nice})
-	c.t.await()
 }
 
 // SetPolicyNice switches class and niceness together (SCHED_OTHER tasks
 // only use nice; FIFO tasks only use rtprio).
 func (c *Ctx) SetPolicyNice(p Policy, rtprio, nice int) {
 	c.t.send(request{kind: reqSetPolicy, policy: p, rtprio: rtprio, nice: nice})
-	c.t.await()
 }
 
 // Yield relinquishes the CPU, letting same-class peers run.
 func (c *Ctx) Yield() {
 	c.t.send(request{kind: reqYield})
-	c.t.await()
 }
 
 // Now returns the current simulated time. Safe because the body only runs

@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -12,10 +13,39 @@ import (
 // ClusterSeries executes reps cluster runs of spec with index-derived seeds
 // and returns the results in rep order. Like Series, reps fan out over the
 // worker pool and output is bit-identical for every parallelism level: each
-// rep is a pure function of (spec, seedAt(seed, i)).
+// rep is a pure function of (spec, seedAt(seed, i)). Under the batch policy
+// (see Executor.Batch) reps share warm cluster shells — the multi-node
+// topology and per-node schedulers built once per in-flight rep instead of
+// once per rep — with outputs unchanged.
 func (e Executor) ClusterSeries(ctx context.Context, spec cluster.Spec, seed uint64, reps int) ([]*cluster.Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	// Shells are spec-specific, so the pool is per series: a mutex-guarded
+	// stack holding at most one shell per in-flight rep.
+	var (
+		batch  = e.batchReps(reps)
+		shMu   sync.Mutex
+		shells []*cluster.Shell
+	)
+	getShell := func() (*cluster.Shell, error) {
+		shMu.Lock()
+		var sh *cluster.Shell
+		if n := len(shells); n > 0 {
+			sh = shells[n-1]
+			shells[n-1] = nil
+			shells = shells[:n-1]
+		}
+		shMu.Unlock()
+		if sh != nil {
+			return sh, nil
+		}
+		return cluster.NewShell(spec)
+	}
+	putShell := func(sh *cluster.Shell) {
+		shMu.Lock()
+		shells = append(shells, sh)
+		shMu.Unlock()
 	}
 	results := make([]*cluster.Result, reps)
 	var rec0 *obs.Recorder
@@ -28,7 +58,18 @@ func (e Executor) ClusterSeries(ctx context.Context, spec cluster.Spec, seed uin
 				Reg:      e.Obs.Reg,
 			})
 		}
-		res, err := cluster.Run(spec, seedAt(seed, i), rec)
+		var res *cluster.Result
+		var err error
+		if batch {
+			var sh *cluster.Shell
+			sh, err = getShell()
+			if err == nil {
+				res, err = sh.Run(seedAt(seed, i), rec)
+				putShell(sh)
+			}
+		} else {
+			res, err = cluster.Run(spec, seedAt(seed, i), rec)
+		}
 		if err != nil {
 			e.dumpFlight(i, rec, err)
 			return err

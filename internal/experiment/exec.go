@@ -51,6 +51,18 @@ type Executor struct {
 	// Obs, when non-nil, attaches observability to every rep the executor
 	// runs (flight ring always; timeline for rep 0 when requested).
 	Obs *ObsOptions
+	// Batch selects the batched-rep execution path for Series,
+	// seriesWithPlan, and ClusterSeries: engine + scheduler worlds built
+	// once and forked back to their construction snapshots between reps.
+	// Output is byte-identical to the unbatched path at every parallelism
+	// level; the zero value (BatchAuto) batches at BatchThreshold+ reps,
+	// BatchOff is the escape hatch.
+	Batch BatchPolicy
+	// Worlds, when non-nil, is the pool batched series draw their warm
+	// worlds from, letting sweeps and repeated series share construction
+	// across calls. Nil uses a transient pool per series (reps still share
+	// worlds within the series).
+	Worlds *WorldPool
 }
 
 // ObsOptions configures per-rep observability for an Executor.
@@ -259,6 +271,13 @@ func (e Executor) deliverTimeline(rec *obs.Recorder) {
 // the execution times in rep order (and the traces, when spec.Tracing).
 // Output is bit-identical for every parallelism level.
 func (e Executor) Series(ctx context.Context, spec Spec, reps int) ([]sim.Time, []*trace.Trace, error) {
+	if e.batchEligible(spec, reps) {
+		plan, err := mitigate.Apply(spec.Strategy, spec.Platform.Topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e.batchedSeries(ctx, spec, plan, reps, true)
+	}
 	times := make([]sim.Time, reps)
 	traces := make([]*trace.Trace, reps)
 	var rec0 *obs.Recorder
@@ -288,6 +307,10 @@ func (e Executor) Series(ctx context.Context, spec Spec, reps int) ([]sim.Time, 
 // seriesWithPlan is Series with an explicit execution plan, bypassing
 // strategy derivation (the thread-count sweeps). Traces are not collected.
 func (e Executor) seriesWithPlan(ctx context.Context, spec Spec, plan *mitigate.Plan, reps int) ([]sim.Time, error) {
+	if e.batchEligible(spec, reps) {
+		times, _, err := e.batchedSeries(ctx, spec, plan, reps, false)
+		return times, err
+	}
 	times := make([]sim.Time, reps)
 	var rec0 *obs.Recorder
 	err := e.run(ctx, reps, func(i int) error {

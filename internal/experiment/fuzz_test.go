@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/mitigate"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// FuzzBatchEqualsFresh fuzzes the snapshot/fork contract: for a random
+// small spec, a rep executed in a world warmed by a different-seed rep must
+// produce exactly the result of a fresh world — execution time, scheduler
+// counters, and the full trace. Any divergence means forked state leaked
+// into a scheduling decision, which would silently poison every batched
+// series (and the rescache content keys built on their determinism).
+func FuzzBatchEqualsFresh(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint64(1), true, 0.0, false)
+	f.Add(uint8(1), uint8(1), uint8(3), uint64(99), false, 2.5, true)
+	f.Add(uint8(2), uint8(0), uint8(5), uint64(7), true, 0.5, false)
+	f.Add(uint8(3), uint8(1), uint8(2), uint64(123456789), false, 0.0, true)
+	f.Fuzz(func(t *testing.T, workloadSel, modelSel, stratSel uint8,
+		seed uint64, tracing bool, noiseScale float64, runlevel3 bool) {
+		works := []string{"nbody", "babelstream", "minife", "schedbench"}
+		models := []string{"omp", "sycl"}
+		strategies := mitigate.Columns()
+		if noiseScale < 0 || noiseScale > 4 || noiseScale != noiseScale {
+			t.Skip() // negative, huge, or NaN scales are rejected elsewhere
+		}
+		p, err := platform.New("tiny-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workloads.ByName(works[int(workloadSel)%len(works)], "small")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Spec{
+			Platform: p, Workload: w,
+			Model:      models[int(modelSel)%len(models)],
+			Strategy:   strategies[int(stratSel)%len(strategies)],
+			Seed:       seed,
+			Tracing:    tracing,
+			NoiseScale: noiseScale,
+			Runlevel3:  runlevel3,
+		}
+		plan, err := mitigate.Apply(spec.Strategy, spec.Platform.Topo)
+		if err != nil {
+			t.Skip() // strategy not applicable to this topology
+		}
+		key := worldKeyFor(spec)
+
+		fresh, err := newWorld(key, true).run(spec, plan)
+		if err != nil {
+			t.Skip() // invalid spec fails identically either way
+		}
+
+		warm := newWorld(key, true)
+		warmup := spec
+		warmup.Seed = seed + 1
+		if _, err := warm.run(warmup, plan); err != nil {
+			t.Fatal(err)
+		}
+		got, err := warm.run(spec, plan)
+		if err != nil {
+			t.Fatalf("warm rep failed where fresh succeeded: %v", err)
+		}
+
+		if got.ExecTime != fresh.ExecTime {
+			t.Fatalf("exec time diverged: warm %v, fresh %v", got.ExecTime, fresh.ExecTime)
+		}
+		if got.ContextSwitches != fresh.ContextSwitches ||
+			got.GoroutineHandoffs != fresh.GoroutineHandoffs ||
+			got.InlineDispatches != fresh.InlineDispatches {
+			t.Fatalf("counters diverged: warm %d/%d/%d, fresh %d/%d/%d",
+				got.ContextSwitches, got.GoroutineHandoffs, got.InlineDispatches,
+				fresh.ContextSwitches, fresh.GoroutineHandoffs, fresh.InlineDispatches)
+		}
+		if spec.Tracing {
+			gh, gn := fingerprintTraces([]*trace.Trace{got.Trace})
+			fh, fn := fingerprintTraces([]*trace.Trace{fresh.Trace})
+			if gh != fh || gn != fn {
+				t.Fatalf("trace diverged: warm %s (%d events), fresh %s (%d events)", gh, gn, fh, fn)
+			}
+		}
+	})
+}

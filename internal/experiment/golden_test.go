@@ -122,16 +122,46 @@ func (c goldenCase) spec(t *testing.T) Spec {
 		Seed: c.Seed, Tracing: c.Tracing}
 }
 
+// batchRunner returns a RunOnce equivalent that executes every run in a
+// pooled batch world: fresh on a pool miss, forked back from a previous run
+// otherwise. Golden tests drive it to prove a warm world is byte-identical
+// to a cold one.
+func batchRunner(pool *WorldPool) func(Spec) (Result, error) {
+	return func(s Spec) (Result, error) {
+		plan, err := mitigate.Apply(s.Strategy, s.Platform.Topo)
+		if err != nil {
+			return Result{}, err
+		}
+		k := worldKeyFor(s)
+		w := pool.get(k)
+		if w == nil {
+			w = newWorld(k, true)
+		}
+		res, err := w.run(s, plan)
+		pool.put(w)
+		return res, err
+	}
+}
+
 // runGoldenCase executes one case at the given parallelism. With withObs the
 // passive observability recorder is attached to every run — the fixture must
-// still match exactly, proving observability cannot perturb the kernel.
-func runGoldenCase(t *testing.T, c goldenCase, parallelism int, withObs bool) goldenRecord {
+// still match exactly, proving observability cannot perturb the kernel. With
+// a non-nil pool every run executes in a pooled batch world (and the
+// executor batches unconditionally), pinning the fork path to the same
+// fixture as the build-from-scratch path.
+func runGoldenCase(t *testing.T, c goldenCase, parallelism int, withObs bool, pool *WorldPool) goldenRecord {
 	t.Helper()
 	spec := c.spec(t)
 	if withObs {
 		spec.Obs = &obs.Options{Timeline: true}
 	}
 	exec := Executor{Parallelism: parallelism}
+	runOne := RunOnce
+	if pool != nil {
+		exec.Batch = BatchOn
+		exec.Worlds = pool
+		runOne = batchRunner(pool)
+	}
 	if c.Inject {
 		pr, err := Pipeline{Spec: spec, CollectRuns: 6, Improved: true, Exec: exec}.Run()
 		if err != nil {
@@ -147,7 +177,7 @@ func runGoldenCase(t *testing.T, c goldenCase, parallelism int, withObs bool) go
 	err := exec.run(context.Background(), c.Reps, func(i int) error {
 		s := spec
 		s.Seed = seedAt(spec.Seed, i)
-		res, err := RunOnce(s)
+		res, err := runOne(s)
 		if err != nil {
 			return err
 		}
@@ -169,7 +199,7 @@ func runGoldenCase(t *testing.T, c goldenCase, parallelism int, withObs bool) go
 		for i := 0; i < c.Reps; i++ {
 			s := spec
 			s.Seed = seedAt(spec.Seed, i)
-			res, err := RunOnce(s)
+			res, err := runOne(s)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,8 +228,8 @@ func TestGoldenKernel(t *testing.T) {
 	for _, c := range goldenCases() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			seq := runGoldenCase(t, c, 1, false)
-			par := runGoldenCase(t, c, 8, false)
+			seq := runGoldenCase(t, c, 1, false, nil)
+			par := runGoldenCase(t, c, 8, false, nil)
 			if fmt.Sprint(seq) != fmt.Sprint(par) {
 				t.Fatalf("parallelism changed outputs:\n  p=1: %+v\n  p=8: %+v", seq, par)
 			}
@@ -256,12 +286,57 @@ func TestGoldenKernelObs(t *testing.T) {
 				t.Fatalf("case %q missing from golden fixture", c.Name)
 			}
 			for _, parallelism := range []int{1, 8} {
-				got := runGoldenCase(t, c, parallelism, true)
+				got := runGoldenCase(t, c, parallelism, true, nil)
 				if fmt.Sprint(want) != fmt.Sprint(got) {
 					t.Errorf("obs-enabled run diverged from fixture at parallelism %d:\n  want %+v\n  got  %+v",
 						parallelism, want, got)
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenKernelBatch re-runs the golden matrix through pooled batch
+// worlds — every rep forked from a warm world when the pool has one — at
+// parallelism 1 and 8, with and without the observability recorder, and
+// demands the fixture still matches byte for byte. One pool is shared across
+// all cases of a sub-test, so worlds cross spec boundaries (different
+// workloads, models, seeds, injection configs reuse the same forked world
+// whenever topology and scheduler options agree) — the strongest practical
+// exercise of the fork path.
+func TestGoldenKernelBatch(t *testing.T) {
+	if os.Getenv("REPRO_UPDATE_GOLDEN") != "" {
+		t.Skip("fixture is regenerated by TestGoldenKernel (the batch path must not define the baseline)")
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	var golden map[string]goldenRecord
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for _, withObs := range []bool{false, true} {
+		for _, parallelism := range []int{1, 8} {
+			name := fmt.Sprintf("p%d", parallelism)
+			if withObs {
+				name += "-obs"
+			}
+			withObs, parallelism := withObs, parallelism
+			t.Run(name, func(t *testing.T) {
+				pool := NewWorldPool()
+				for _, c := range goldenCases() {
+					want, ok := golden[c.Name]
+					if !ok {
+						t.Fatalf("case %q missing from golden fixture", c.Name)
+					}
+					got := runGoldenCase(t, c, parallelism, withObs, pool)
+					if fmt.Sprint(want) != fmt.Sprint(got) {
+						t.Errorf("%s: batched run diverged from fixture:\n  want %+v\n  got  %+v",
+							c.Name, want, got)
+					}
+				}
+			})
+		}
 	}
 }

@@ -57,6 +57,7 @@ func (p Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 	if p.CollectRuns <= 1 {
 		return nil, fmt.Errorf("experiment: pipeline needs at least 2 collection runs")
 	}
+	p.Exec = p.Exec.withWorlds()
 	spec := p.Spec
 	spec.Tracing = true
 	spec.Inject = nil

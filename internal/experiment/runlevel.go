@@ -51,6 +51,7 @@ func (st RunlevelStudy) Run() ([]RunlevelRow, error) {
 
 // RunContext executes the study under ctx.
 func (st RunlevelStudy) RunContext(ctx context.Context) ([]RunlevelRow, error) {
+	st.Exec = st.Exec.withWorlds()
 	if st.Model == "" {
 		st.Model = "omp"
 	}

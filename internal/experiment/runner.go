@@ -84,6 +84,16 @@ type Result struct {
 	ContextSwitches   uint64
 	GoroutineHandoffs uint64
 	InlineDispatches  uint64
+	// Batch-execution counters (noiselab -v prints them): Snapshots is 1
+	// when this rep built a fresh world (engine + scheduler constructed and
+	// snapshotted), BatchedReps is 1 when it reused a warm pooled world,
+	// and CowCopies counts the fresh materializations — timer and task
+	// structs allocated because the world's pools had no recycled struct to
+	// hand out, i.e. the copies performed on first write. A warm world runs
+	// a rep with CowCopies near zero.
+	Snapshots   uint64
+	CowCopies   uint64
+	BatchedReps uint64
 	// Obs is the run's observability recorder (nil unless Spec.Obs). On a
 	// deadlock failure it is returned alongside the error so callers can
 	// dump the flight ring.
@@ -113,110 +123,18 @@ func RunOnce(spec Spec) (Result, error) {
 }
 
 // runOnceWithPlan executes one run with an explicit execution plan,
-// bypassing strategy derivation (used by the thread-count sweeps).
+// bypassing strategy derivation (used by the thread-count sweeps). It
+// builds a one-shot world — the same code path batched series reuse, minus
+// the end-of-run fork a pooled world performs.
 func runOnceWithPlan(spec Spec, plan *mitigate.Plan) (Result, error) {
-	eng := sim.NewEngine()
-	sched := cpusched.New(eng, spec.Platform.Topo, spec.Platform.SchedOpt)
-	defer sched.Shutdown()
-
-	var tracer *trace.Tracer
-	if spec.Tracing {
-		tracer = trace.NewTracer(0)
-		sched.SetTracer(tracer)
-	}
-
-	var rec *obs.Recorder
-	if spec.Obs != nil {
-		rec = obs.NewRecorder(*spec.Obs)
-		sched.SetObserver(rec)
-	}
-
-	prof := spec.Platform.Noise
-	if spec.Runlevel3 {
-		prof = prof.WithRunlevel3()
-	}
-	if spec.NoiseScale > 0 && spec.NoiseScale != 1.0 {
-		prof = prof.Scale(spec.NoiseScale)
-	}
-	rng := sim.NewRNG(spec.Seed)
-	gen := noise.Attach(sched, prof, rng.Stream("noise"), noiseHorizon)
-
-	var replayer *core.Replayer
-	if spec.Inject != nil {
-		r, err := core.NewReplayer(sched, spec.Inject)
-		if err != nil {
-			return Result{}, err
-		}
-		r.PinInjectors = spec.PinInjectors
-		replayer = r
-	}
-
-	var done *cpusched.Task
-	switch spec.Model {
-	case "omp":
-		cfg := omprt.DefaultConfig()
-		if spec.OMP != nil {
-			cfg = *spec.OMP
-		}
-		team := omprt.Start(sched, plan, cfg, spec.Workload.Body())
-		done = team.Master()
-	case "sycl":
-		cfg := syclrt.DefaultConfig()
-		if spec.SYCL != nil {
-			cfg = *spec.SYCL
-		}
-		q := syclrt.Start(sched, plan, cfg, spec.Workload.Body())
-		done = q.Host()
-	default:
-		return Result{Obs: rec}, fmt.Errorf("experiment: unknown model %q", spec.Model)
-	}
-
-	if replayer != nil {
-		// Injector processes synchronize with workload start (Listing 1's
-		// barrier): both begin at t=0.
-		replayer.Start()
-		done.OnDone(func() { replayer.StopAll() })
-	}
-
-	eng.RunWhile(func() bool { return !done.Done() })
-	if rec != nil {
-		publishRunCounters(rec.Registry(), eng, sched, gen, rec)
-	}
-	if !done.Done() {
-		// Hand the recorder back with the error: the flight ring holds the
-		// last scheduling events before the queue drained, which is exactly
-		// the evidence a deadlock diagnosis needs.
-		return Result{Obs: rec}, fmt.Errorf("experiment: workload deadlocked (event queue drained)")
-	}
-	res := Result{
-		ExecTime:          eng.Now(),
-		ContextSwitches:   sched.ContextSwitches,
-		GoroutineHandoffs: sched.GoroutineHandoffs,
-		InlineDispatches:  sched.InlineDispatches,
-		Obs:               rec,
-	}
-	if replayer != nil {
-		res.InjectedAll = replayer.Done()
-		for cpu := 0; cpu < spec.Platform.Topo.NumCPUs(); cpu++ {
-			t := sched.CPUTimeOf(cpu, cpusched.KindInjector)
-			res.InjectorCPUTime += t
-			if plan.Allowed.Has(cpu) {
-				res.InjectorOnWorkload += t
-			}
-		}
-	}
-	if tracer != nil {
-		res.Trace = tracer.Finish(res.ExecTime, spec.Platform.Name,
-			spec.Workload.Name(), spec.Model, spec.Strategy.Name(), spec.Seed)
-	}
-	return res, nil
+	return newWorld(worldKeyFor(spec), false).run(spec, plan)
 }
 
 // publishRunCounters publishes the run's kernel counters to the shared obs
 // registry — the one export path for engine, scheduler, noise, and recorder
 // counters (noiselab -obs and the daemon both render it).
 func publishRunCounters(reg *obs.Registry, eng *sim.Engine, sched *cpusched.Scheduler,
-	gen *noise.Generator, rec *obs.Recorder) {
+	gen *noise.Generator, rec *obs.Recorder, snapshots, cowCopies, batchedReps uint64) {
 	reg.Counter("repro_runs_total", "Completed simulation runs.").Inc()
 	reg.Counter("repro_sim_steps_total", "Engine events processed.").Add(eng.Stats().Steps)
 	reg.Counter("repro_sched_context_switches_total", "Task dispatches.").Add(sched.ContextSwitches)
@@ -231,6 +149,12 @@ func publishRunCounters(reg *obs.Registry, eng *sim.Engine, sched *cpusched.Sche
 	reg.Counter("repro_obs_events_total", "Observability events recorded.").Add(rec.Total())
 	reg.Counter("repro_obs_events_dropped_total",
 		"Timeline events dropped by the buffer cap.").Add(rec.Dropped())
+	reg.Counter("repro_sim_snapshots_total",
+		"World construction snapshots captured (cold reps).").Add(snapshots)
+	reg.Counter("repro_sim_cow_copies_total",
+		"Fresh timer/task materializations on first write (pool misses).").Add(cowCopies)
+	reg.Counter("repro_sim_batched_reps_total",
+		"Reps executed in a reused warm world.").Add(batchedReps)
 }
 
 // RunSeries executes reps runs with index-derived seeds and returns the

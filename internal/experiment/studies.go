@@ -96,6 +96,7 @@ func (b BaselineStudy) Run() (*BaselineResult, error) {
 // RunContext executes the study under ctx; cancellation stops the series
 // in flight and surfaces the context error.
 func (b BaselineStudy) RunContext(ctx context.Context) (*BaselineResult, error) {
+	b.Exec = b.Exec.withWorlds()
 	w, err := b.Platform.WorkloadSpec(b.Workload)
 	if err != nil {
 		return nil, err
@@ -283,6 +284,7 @@ func (st InjectionStudy) Run() (*InjectionResult, error) {
 
 // RunContext executes the study under ctx.
 func (st InjectionStudy) RunContext(ctx context.Context) (*InjectionResult, error) {
+	st.Exec = st.Exec.withWorlds()
 	out := &InjectionResult{
 		Workload: st.Workload,
 		Configs:  make(map[string][]*core.Config),
@@ -498,6 +500,7 @@ func (st AccuracyStudy) Run() ([]AccuracyEntry, error) {
 
 // RunContext executes the study under ctx.
 func (st AccuracyStudy) RunContext(ctx context.Context) ([]AccuracyEntry, error) {
+	st.Exec = st.Exec.withWorlds()
 	var out []AccuracyEntry
 	plats := map[string]*platform.Platform{}
 	prog := st.Exec.cells(len(st.Cases))

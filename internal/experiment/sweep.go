@@ -55,6 +55,9 @@ func (sw IntensitySweep) RunContext(ctx context.Context) ([]IntensityPoint, erro
 	if sw.Model == "" {
 		sw.Model = "omp"
 	}
+	// One pool for the whole sweep: the config hunt, the per-strategy
+	// baselines, and every (factor, strategy) point share warm worlds.
+	sw.Exec = sw.Exec.withWorlds()
 	w, err := sw.Platform.WorkloadSpec(sw.Workload)
 	if err != nil {
 		return nil, err

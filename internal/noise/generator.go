@@ -31,7 +31,7 @@ func Attach(s *cpusched.Scheduler, p Profile, rng *sim.RNG, horizon sim.Time) *G
 
 	if p.TimerHz > 0 {
 		for cpu := 0; cpu < ncpu; cpu++ {
-			g.timerLoop(cpu, rng.Stream(fmt.Sprintf("timer/%d", cpu)))
+			g.timerLoop(cpu, rng.Stream(cpuName(&timerStreamNames, "timer/%d", cpu)))
 		}
 	}
 	if p.KworkerRate > 0 {
@@ -39,7 +39,7 @@ func Attach(s *cpusched.Scheduler, p Profile, rng *sim.RNG, horizon sim.Time) *G
 			if !g.threadAllowedOn(cpu) {
 				continue
 			}
-			g.kworkerLoop(cpu, rng.Stream(fmt.Sprintf("kworker/%d", cpu)))
+			g.kworkerLoop(cpu, rng.Stream(cpuName(&kworkerStreamNames, "kworker/%d", cpu)))
 		}
 	}
 	if p.UnboundRate > 0 {
@@ -64,6 +64,9 @@ func Attach(s *cpusched.Scheduler, p Profile, rng *sim.RNG, horizon sim.Time) *G
 func (g *Generator) diskLoop(rng *sim.RNG) {
 	eng := g.s.Engine()
 	cycles := g.s.Topology().CyclesPerNs()
+	gapMu := sim.LogNormalMu(float64(30*sim.Microsecond), 0.8)
+	irqDur := float64(g.p.DiskIRQDur)
+	irqMu := sim.LogNormalMu(irqDur, 0.5)
 	var next func()
 	next = func() {
 		if eng.Now() > g.horizon {
@@ -72,9 +75,12 @@ func (g *Generator) diskLoop(rng *sim.RNG) {
 		n := 1 + rng.Intn(g.p.DiskIRQs)
 		for k := 0; k < n; k++ {
 			k := k
-			gap := sim.Time(rng.LogNormalMean(float64(30*sim.Microsecond), 0.8))
+			gap := sim.Time(rng.LogNormal(gapMu, 0.8))
 			eng.After(sim.Time(k)*gap, func() {
-				dur := sim.Time(rng.LogNormalMean(float64(g.p.DiskIRQDur), 0.5))
+				var dur sim.Time
+				if irqDur > 0 {
+					dur = sim.Time(rng.LogNormal(irqMu, 0.5))
+				}
 				if dur < 500 {
 					dur = 500
 				}
@@ -125,8 +131,12 @@ func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
 	period := sim.Time(1e9 / g.p.TimerHz)
 	eng := g.s.Engine()
 	// Sort the softirq sources once: map iteration order would make runs
-	// nondeterministic, and re-sorting on every tick would allocate.
-	softirqs := softirqOrder(g.p.SoftIRQProb)
+	// nondeterministic, and re-sorting on every tick would allocate. The
+	// sorted entries also carry each source's hoisted log-normal mu (see
+	// sim.LogNormalMu) so ticks skip a math.Log per softirq draw.
+	softirqs := softirqOrder(g.p.SoftIRQProb, g.p.SoftIRQDur)
+	timerDur := float64(g.p.TimerDur)
+	timerMu := sim.LogNormalMu(timerDur, g.p.TimerDurSigma)
 	// Desynchronize CPUs: first tick at a random phase.
 	first := eng.Now() + sim.Time(rng.Float64()*float64(period))
 	var tick func()
@@ -134,7 +144,10 @@ func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
 		if eng.Now() > g.horizon {
 			return
 		}
-		dur := sim.Time(rng.LogNormalMean(float64(g.p.TimerDur), g.p.TimerDurSigma))
+		var dur sim.Time
+		if timerDur > 0 {
+			dur = sim.Time(rng.LogNormal(timerMu, g.p.TimerDurSigma))
+		}
 		if dur < 100 {
 			dur = 100
 		}
@@ -142,7 +155,10 @@ func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
 		g.IRQs++
 		for _, sp := range softirqs {
 			if rng.Bool(sp.prob) {
-				d := sim.Time(rng.LogNormalMean(float64(g.p.SoftIRQDur[sp.src]), 0.8))
+				var d sim.Time
+				if sp.dur > 0 {
+					d = sim.Time(rng.LogNormal(sp.mu, 0.8))
+				}
 				if d < 100 {
 					d = 100
 				}
@@ -158,13 +174,17 @@ func (g *Generator) timerLoop(cpu int, rng *sim.RNG) {
 type srcProb struct {
 	src  string
 	prob float64
+	dur  float64 // softirq duration mean (ns); no draw when <= 0
+	mu   float64 // hoisted sim.LogNormalMu(dur, 0.8)
 }
 
-// softirqOrder returns softirq sources in deterministic (sorted) order.
-func softirqOrder(m map[string]float64) []srcProb {
+// softirqOrder returns softirq sources in deterministic (sorted) order,
+// with each source's duration mean and hoisted log-normal mu attached.
+func softirqOrder(m map[string]float64, durs map[string]sim.Time) []srcProb {
 	out := make([]srcProb, 0, len(m))
 	for src, p := range m {
-		out = append(out, srcProb{src, p})
+		dur := float64(durs[src])
+		out = append(out, srcProb{src, p, dur, sim.LogNormalMu(dur, 0.8)})
 	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].src < out[j-1].src; j-- {
@@ -174,18 +194,48 @@ func softirqOrder(m map[string]float64) []srcProb {
 	return out
 }
 
+// Per-CPU stream and source names recur identically every rep (a fresh
+// generator attaches per run); precomputing them keeps re-attachment from
+// re-formatting — and re-allocating — the same strings, which showed up
+// in batched-rep allocation profiles.
+var (
+	timerStreamNames   = cpuNames("timer/%d")
+	kworkerStreamNames = cpuNames("kworker/%d")
+	kworkerSrcNames    = cpuNames("kworker/%d:1")
+)
+
+func cpuNames(format string) [64]string {
+	var s [64]string
+	for i := range s {
+		s[i] = fmt.Sprintf(format, i)
+	}
+	return s
+}
+
+func cpuName(table *[64]string, format string, cpu int) string {
+	if cpu >= 0 && cpu < len(table) {
+		return table[cpu]
+	}
+	return fmt.Sprintf(format, cpu)
+}
+
 // kworkerLoop spawns bound kworker threads on one CPU at Poisson arrivals.
 func (g *Generator) kworkerLoop(cpu int, rng *sim.RNG) {
 	eng := g.s.Engine()
 	cycles := g.s.Topology().CyclesPerNs()
-	src := fmt.Sprintf("kworker/%d:1", cpu)
+	src := cpuName(&kworkerSrcNames, "kworker/%d:1", cpu)
 	aff := machine.SetOf(cpu)
+	kworkerDur := float64(g.p.KworkerDur)
+	kworkerMu := sim.LogNormalMu(kworkerDur, g.p.KworkerDurSigma)
 	var next func()
 	next = func() {
 		if eng.Now() > g.horizon {
 			return
 		}
-		dur := sim.Time(rng.LogNormalMean(float64(g.p.KworkerDur), g.p.KworkerDurSigma))
+		var dur sim.Time
+		if kworkerDur > 0 {
+			dur = sim.Time(rng.LogNormal(kworkerMu, g.p.KworkerDurSigma))
+		}
 		if dur < sim.Microsecond {
 			dur = sim.Microsecond
 		}
@@ -217,13 +267,18 @@ func (g *Generator) unboundLoop(rng *sim.RNG) {
 		srcs[i] = fmt.Sprintf("kworker/u%d:%d", g.s.Topology().NumCPUs()*4+1, i)
 	}
 	id := 0
+	unboundDur := float64(g.p.UnboundDur)
+	unboundMu := sim.LogNormalMu(unboundDur, g.p.UnboundDurSigma)
 	var next func()
 	next = func() {
 		if eng.Now() > g.horizon {
 			return
 		}
 		id++
-		dur := sim.Time(rng.LogNormalMean(float64(g.p.UnboundDur), g.p.UnboundDurSigma))
+		var dur sim.Time
+		if unboundDur > 0 {
+			dur = sim.Time(rng.LogNormal(unboundMu, g.p.UnboundDurSigma))
+		}
 		if dur < sim.Microsecond {
 			dur = sim.Microsecond
 		}

@@ -156,7 +156,7 @@ func TestReservedMaskConfinesThreadNoise(t *testing.T) {
 }
 
 func TestSoftirqOrderSorted(t *testing.T) {
-	got := softirqOrder(map[string]float64{"z": 1, "a": 2, "m": 3})
+	got := softirqOrder(map[string]float64{"z": 1, "a": 2, "m": 3}, nil)
 	if got[0].src != "a" || got[1].src != "m" || got[2].src != "z" {
 		t.Fatalf("softirqOrder not sorted: %+v", got)
 	}

@@ -135,7 +135,7 @@ func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel
 	// imperative path because it executes the arbitrary workload body.
 	for i := 1; i < plan.Threads; i++ {
 		w := s.SpawnProgram(cpusched.TaskSpec{
-			Name:     fmt.Sprintf("omp-worker-%d", i),
+			Name:     workerName(i),
 			Kind:     cpusched.KindWorkload,
 			Affinity: plan.AffinityOf(i),
 		}, &workerProgram{t: t, id: i})
@@ -343,6 +343,23 @@ func (t *Team) rangeCost(lo, hi int) (cycles, bytes float64) {
 	}
 	total = total.Scale(t.cfg.CostFactor)
 	return total.Cycles, total.Bytes
+}
+
+// workerNames caches the recurring per-thread names: teams are rebuilt
+// every rep, and re-formatting identical names each time is measurable in
+// batched series.
+var workerNames = func() (s [64]string) {
+	for i := range s {
+		s[i] = fmt.Sprintf("omp-worker-%d", i)
+	}
+	return
+}()
+
+func workerName(i int) string {
+	if i >= 0 && i < len(workerNames) {
+		return workerNames[i]
+	}
+	return fmt.Sprintf("omp-worker-%d", i)
 }
 
 func (t *Team) shutdownWorkers() {

@@ -4,55 +4,80 @@ import "fmt"
 
 // Timer is a scheduled callback. It can be cancelled before it fires.
 //
-// Timer structs are pooled: once a timer has fired (or been cancelled) the
-// engine may recycle it for a later At/After call. A handle therefore must
-// not be retained past its callback — holders that store a *Timer must
-// clear or reassign the reference when the callback runs, which every
-// in-tree holder does as the first statement of its callback. Cancel and
-// Pending on a handle whose timer already fired remain safe no-ops only
-// until the struct is reused.
+// Timer structs are pooled: once a timer has fired (or been cancelled and
+// then popped) the engine may recycle it for a later At/After call. A
+// handle therefore must not be retained past its callback — holders that
+// store a *Timer must clear or reassign the reference when the callback
+// runs, which every in-tree holder does as the first statement of its
+// callback. Cancel and Pending on a handle whose timer already fired
+// remain safe no-ops only until the struct is reused.
 type Timer struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // position in the event heap, -1 when not queued
-	eng   *Engine
+	at     Time
+	seq    uint64
+	fn     func()
+	queued bool
+	zombie bool
+	eng    *Engine
 }
 
 // At returns the simulated instant the timer fires at.
 func (t *Timer) At() Time { return t.at }
 
-// Cancel prevents the timer from firing, removing it from the event queue
-// immediately (no zombie entries linger in the heap). Cancelling an
-// already-fired or already-cancelled timer is a no-op. It reports whether
-// the timer was still pending.
+// Cancel prevents the timer from firing. Cancellation is lazy: the entry
+// stays in the queue as a zombie and is discarded (without firing) when it
+// reaches the head, which makes Cancel O(1) where an eager removal paid a
+// search plus a window shift — the cancel-heavy refresh path (interrupt
+// arrivals pausing a running task's completion timer) is why. Cancelling
+// an already-fired or already-cancelled timer is a no-op. It reports
+// whether the timer was still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.index < 0 {
+	if t == nil || !t.queued || t.zombie {
 		return false
 	}
-	t.eng.removeAt(t.index)
-	t.eng.release(t)
+	t.zombie = true
+	t.eng.zombies++
 	return true
 }
 
 // Pending reports whether the timer is scheduled and not cancelled.
-func (t *Timer) Pending() bool { return t != nil && t.index >= 0 }
+func (t *Timer) Pending() bool { return t != nil && t.queued && !t.zombie }
 
 // Engine is a single-threaded discrete-event simulator. Events scheduled for
 // the same instant fire in scheduling order, which keeps runs deterministic.
 //
-// The event queue is a 4-ary min-heap ordered by (time, scheduling
-// sequence): 4-ary trades slightly more comparisons per level for half the
-// tree depth and better cache locality than the binary container/heap,
-// which benchmarks measurably faster on the sift-heavy event loop.
+// The event queue is a sorted deque: events live in ascending (time,
+// scheduling sequence) order in the window [head, tail) of a backing array
+// with slack at both ends. Popping the minimum is a head increment; an
+// insert searches its position (a short scan from the head, then binary)
+// and shifts whichever side of the window is shorter; a cancel marks its
+// entry a zombie that the pop path discards. The measured queue stays
+// small (tens of events for a single node, ~100 for a cluster), and the
+// dominant insert patterns — an interrupt-end event that is or is nearly
+// the new minimum, a periodic loop's next tick that is the new maximum —
+// land at or next to the window's edges and shift little or nothing, which
+// makes this measurably faster than the former 4-ary heap: the heap paid a
+// sift (with data-dependent branches) on every pop and an eager removal on
+// every cancel. The keys live in a struct-of-arrays slice parallel to the
+// timers so searches and shifts touch packed (at, seq) pairs.
 type Engine struct {
-	now    Time
-	events []*Timer
-	free   []*Timer // recycled Timer structs, so steady-state event flow does not allocate
-	seq    uint64
+	now  Time
+	keys []timerKey // ascending in [head, tail); index-parallel to evs
+	evs  []*Timer
+	head int
+	tail int
+	free []*Timer // recycled Timer structs, so steady-state event flow does not allocate
+	seq  uint64
+	// zombies counts cancelled entries still occupying queue slots; they
+	// are discarded when popped. Pending subtracts them, so the live count
+	// stays exact.
+	zombies int
 	// Steps counts processed events, for diagnostics and runaway detection
 	// in tests.
 	Steps uint64
+	// TimerAllocs counts Timer structs allocated because the free pool was
+	// empty — the engine-side "copy on first write" count of a forked rep.
+	// A warm engine runs a rep without growing it.
+	TimerAllocs uint64
 }
 
 // NewEngine returns an engine at time zero.
@@ -75,6 +100,7 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 		e.free = e.free[:n-1]
 	} else {
 		tm = &Timer{eng: e}
+		e.TimerAllocs++
 	}
 	tm.at, tm.seq, tm.fn = t, e.seq, fn
 	e.push(tm)
@@ -90,9 +116,9 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 }
 
 // Pending returns the number of live (scheduled, uncancelled) events.
-// Cancelled timers are removed from the queue eagerly, so this is an exact
-// count, never an overcount.
-func (e *Engine) Pending() int { return len(e.events) }
+// Cancelled entries still occupying queue slots are subtracted, so this is
+// an exact count, never an overcount.
+func (e *Engine) Pending() int { return e.tail - e.head - e.zombies }
 
 // Stats is a snapshot of engine-level counters, feeding the observability
 // registry (internal/obs) at end of run.
@@ -104,31 +130,79 @@ type Stats struct {
 	// FreeTimers is the recycled-Timer pool size — how deep the event flow
 	// ran without allocating.
 	FreeTimers int
+	// TimerAllocs is the number of Timer structs allocated because the free
+	// pool was empty (pool misses since engine construction).
+	TimerAllocs uint64
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Steps: e.Steps, Pending: len(e.events), FreeTimers: len(e.free)}
+	return Stats{Steps: e.Steps, Pending: e.Pending(), FreeTimers: len(e.free),
+		TimerAllocs: e.TimerAllocs}
 }
 
-// release returns a fired or cancelled timer to the free list.
+// Snapshot captures the engine's position — clock, scheduling sequence, and
+// step count — so a later Fork can rewind to it. Only quiescent positions
+// (no pending events) are forkable: a pending callback closes over
+// simulation state the snapshot cannot reproduce, so Fork from a
+// non-quiescent snapshot panics.
+type Snapshot struct {
+	now     Time
+	seq     uint64
+	steps   uint64
+	pending int
+}
+
+// Snapshot records the engine's current position.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{now: e.now, seq: e.seq, steps: e.Steps, pending: e.Pending()}
+}
+
+// Fork rewinds the engine to a quiescent snapshot: every pending timer is
+// cancelled wholesale (the structs return to the free pool, so the next
+// rep's event flow starts warm and allocation-free), and the clock,
+// sequence counter, and step counter are restored. Holders of *Timer
+// handles must drop them — the structs are recycled.
+func (e *Engine) Fork(s Snapshot) {
+	if s.pending != 0 {
+		panic("sim: Fork from a snapshot with pending events")
+	}
+	for i := e.head; i < e.tail; i++ {
+		tm := e.evs[i]
+		tm.fn = nil
+		tm.queued, tm.zombie = false, false
+		e.free = append(e.free, tm)
+		e.evs[i] = nil
+	}
+	e.head, e.tail, e.zombies = len(e.evs)/2, len(e.evs)/2, 0
+	e.now, e.seq, e.Steps = s.now, s.seq, s.steps
+}
+
+// release returns a fired or discarded timer to the free list.
 func (e *Engine) release(tm *Timer) {
 	tm.fn = nil
-	tm.index = -1
+	tm.queued, tm.zombie = false, false
 	e.free = append(e.free, tm)
 }
 
 // Step processes the next event. It reports false when the queue is empty.
+// Cancelled entries reaching the head are discarded without firing (and
+// without counting as a step).
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
-		return false
+	for e.head != e.tail {
+		tm := e.popMin()
+		if tm.zombie {
+			e.zombies--
+			e.release(tm)
+			continue
+		}
+		e.now = tm.at
+		e.Steps++
+		tm.fn()
+		e.release(tm)
+		return true
 	}
-	tm := e.popMin()
-	e.now = tm.at
-	e.Steps++
-	tm.fn()
-	e.release(tm)
-	return true
+	return false
 }
 
 // Run processes events until the queue is empty.
@@ -139,10 +213,15 @@ func (e *Engine) Run() {
 
 // RunUntil processes events with timestamps <= t, then advances the clock to
 // t (even if no event fired exactly at t). The deadline check and the pop
-// are a single heap-top inspection per event, not a peek-then-pop pair.
+// are a single queue-head inspection per event, not a peek-then-pop pair.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for e.head != e.tail && e.keys[e.head].at <= t {
 		tm := e.popMin()
+		if tm.zombie {
+			e.zombies--
+			e.release(tm)
+			continue
+		}
 		e.now = tm.at
 		e.Steps++
 		tm.fn()
@@ -159,9 +238,17 @@ func (e *Engine) RunWhile(cond func() bool) {
 	}
 }
 
-// ---- 4-ary event heap ----
+// ---- sorted-deque event queue ----
 
-func timerLess(a, b *Timer) bool {
+// timerKey is the queue ordering key, stored struct-of-arrays style in
+// Engine.keys so searches and shifts touch packed memory instead of Timer
+// pointers.
+type timerKey struct {
+	at  Time
+	seq uint64
+}
+
+func keyLess(a, b timerKey) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -169,93 +256,115 @@ func timerLess(a, b *Timer) bool {
 }
 
 func (e *Engine) push(tm *Timer) {
-	tm.index = len(e.events)
-	e.events = append(e.events, tm)
-	e.siftUp(tm.index)
+	key := timerKey{at: tm.at, seq: tm.seq}
+	tm.queued = true
+	if e.tail == len(e.keys) {
+		// Pops only ever advance head, so a long-lived window drifts right;
+		// slide it back to the middle (or grow when genuinely full) so the
+		// append-at-tail fast path below stays open.
+		if e.head == 0 {
+			e.grow()
+		} else {
+			e.recenter()
+		}
+	}
+	// Fast paths first: the new maximum appends at the tail, the new
+	// minimum prepends at the head. Between them, shift whichever side of
+	// the insertion point is shorter.
+	switch {
+	case e.head == e.tail || !keyLess(key, e.keys[e.tail-1]):
+		e.keys[e.tail], e.evs[e.tail] = key, tm
+		e.tail++
+	case e.head > 0 && keyLess(key, e.keys[e.head]):
+		e.head--
+		e.keys[e.head], e.evs[e.head] = key, tm
+	default:
+		p := e.searchNearHead(key)
+		if left, right := p-e.head, e.tail-p; e.head > 0 && left <= right {
+			copy(e.keys[e.head-1:p-1], e.keys[e.head:p])
+			copy(e.evs[e.head-1:p-1], e.evs[e.head:p])
+			e.head--
+			p--
+		} else {
+			copy(e.keys[p+1:e.tail+1], e.keys[p:e.tail])
+			copy(e.evs[p+1:e.tail+1], e.evs[p:e.tail])
+			e.tail++
+		}
+		e.keys[p], e.evs[p] = key, tm
+	}
+}
+
+// grow reallocates the backing arrays (doubling, minimum 64 slots) and
+// re-centers the window so both ends regain slack.
+func (e *Engine) grow() {
+	n := e.tail - e.head
+	newCap := 2 * len(e.keys)
+	if newCap < 64 {
+		newCap = 64
+	}
+	keys := make([]timerKey, newCap)
+	evs := make([]*Timer, newCap)
+	head := (newCap - n) / 2
+	copy(keys[head:], e.keys[e.head:e.tail])
+	copy(evs[head:], e.evs[e.head:e.tail])
+	e.keys, e.evs = keys, evs
+	e.head, e.tail = head, head+n
+}
+
+// recenter slides the window back to the middle of the backing array,
+// restoring slack at both ends. Only called with head > 0, so the window
+// moves left; vacated pointer slots are cleared for the garbage collector.
+func (e *Engine) recenter() {
+	n := e.tail - e.head
+	head := (len(e.keys) - n) / 2
+	copy(e.keys[head:head+n], e.keys[e.head:e.tail])
+	copy(e.evs[head:head+n], e.evs[e.head:e.tail])
+	for i := head + n; i < e.tail; i++ {
+		e.evs[i] = nil
+	}
+	e.head, e.tail = head, head+n
 }
 
 func (e *Engine) popMin() *Timer {
-	h := e.events
-	tm := h[0]
-	n := len(h) - 1
-	if n > 0 {
-		h[0] = h[n]
-		h[0].index = 0
+	tm := e.evs[e.head]
+	e.evs[e.head] = nil
+	e.head++
+	if e.head == e.tail {
+		// Empty: re-center so both ends regain slack.
+		e.head, e.tail = len(e.keys)/2, len(e.keys)/2
 	}
-	h[n] = nil
-	e.events = h[:n]
-	if n > 1 {
-		e.siftDown(0)
-	}
-	tm.index = -1
+	tm.queued = false
 	return tm
 }
 
-// removeAt deletes the timer at heap position i (used by Cancel).
-func (e *Engine) removeAt(i int) {
-	h := e.events
-	n := len(h) - 1
-	removed := h[i]
-	if i != n {
-		h[i] = h[n]
-		h[i].index = i
+// remove deletes a queued timer (used by Cancel), shifting the shorter side
+// of the window over its slot.
+// searchNearHead returns the window position where key belongs: the first
+// index in [head, tail) whose key is not less than key. It starts with a
+// bounded linear scan from the head — measured mid-window inserts
+// (interrupt-end and completion events a few entries past the current
+// minimum) land well within the bound, where a sequential scan's
+// predictable branches beat a binary search's data-dependent ones — and
+// falls back to binary search over the remainder for larger windows.
+func (e *Engine) searchNearHead(key timerKey) int {
+	hi := e.head + 32
+	if hi > e.tail {
+		hi = e.tail
 	}
-	h[n] = nil
-	e.events = h[:n]
-	if i != n {
-		if !e.siftUp(i) {
-			e.siftDown(i)
+	for p := e.head; p < hi; p++ {
+		if !keyLess(e.keys[p], key) {
+			return p
 		}
 	}
-	removed.index = -1
-}
-
-// siftUp restores heap order moving h[i] toward the root; it reports
-// whether the element moved.
-func (e *Engine) siftUp(i int) bool {
-	h := e.events
-	tm := h[i]
-	moved := false
-	for i > 0 {
-		p := (i - 1) / 4
-		if !timerLess(tm, h[p]) {
-			break
+	lo := hi
+	hi = e.tail
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyLess(e.keys[mid], key) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		h[i] = h[p]
-		h[i].index = i
-		i = p
-		moved = true
 	}
-	h[i] = tm
-	tm.index = i
-	return moved
-}
-
-// siftDown restores heap order moving h[i] toward the leaves.
-func (e *Engine) siftDown(i int) {
-	h := e.events
-	n := len(h)
-	tm := h[i]
-	for {
-		min := -1
-		mt := tm
-		first := 4*i + 1
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first; c < last; c++ {
-			if timerLess(h[c], mt) {
-				min, mt = c, h[c]
-			}
-		}
-		if min < 0 {
-			break
-		}
-		h[i] = mt
-		h[i].index = i
-		i = min
-	}
-	h[i] = tm
-	tm.index = i
+	return lo
 }

@@ -29,8 +29,20 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// Clone returns an independent copy of the generator: both copies continue
+// from the same state without perturbing each other. Snapshot/fork
+// execution uses it to hand a forked rep the same stream a from-scratch rep
+// would draw.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Stream derives an independent generator for the named component. The same
-// (seed, name) pair always yields the same stream.
+// (seed, name) pair always yields the same stream. Note that deriving a
+// stream advances the parent generator (it mixes in a fresh draw), so
+// stream derivation order is part of a run's determinism contract: a forked
+// rep must derive the same streams in the same order as a fresh one.
 func (r *RNG) Stream(name string) *RNG {
 	// FNV-1a over the name, mixed with a fresh draw from r.
 	h := uint64(14695981039346656037)
@@ -56,9 +68,11 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
-// Float64 returns a uniform value in [0, 1).
+// Float64 returns a uniform value in [0, 1). Scaling by the exact
+// reciprocal 0x1p-53 is bit-identical to dividing by 1<<53 (both only
+// adjust the exponent) and skips the division.
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * 0x1p-53
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
@@ -127,8 +141,16 @@ func (r *RNG) LogNormalMean(mean, sigma float64) float64 {
 	if mean <= 0 {
 		return 0
 	}
-	mu := math.Log(mean) - sigma*sigma/2
-	return r.LogNormal(mu, sigma)
+	return r.LogNormal(LogNormalMu(mean, sigma), sigma)
+}
+
+// LogNormalMu returns the log-space location parameter LogNormalMean
+// derives from (mean, sigma). Hot loops with fixed per-source parameters
+// hoist it once and draw via LogNormal directly, skipping a math.Log per
+// draw; the hoisted value is the same computation, so draws stay
+// bit-identical.
+func LogNormalMu(mean, sigma float64) float64 {
+	return math.Log(mean) - sigma*sigma/2
 }
 
 // Pareto returns a Pareto(xm, alpha) value: heavy-tailed, minimum xm.

@@ -97,7 +97,7 @@ func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel
 	// arbitrary workload body.
 	for i := 1; i < plan.Threads; i++ {
 		w := s.SpawnProgram(cpusched.TaskSpec{
-			Name:     fmt.Sprintf("sycl-worker-%d", i),
+			Name:     workerName(i),
 			Kind:     cpusched.KindWorkload,
 			Affinity: plan.AffinityOf(i),
 		}, &poolProgram{q: q})
@@ -272,4 +272,21 @@ func (q *Queue) groupCost(lo, hi int) (cycles, bytes float64) {
 	}
 	total = total.Scale(q.cfg.CostFactor)
 	return total.Cycles, total.Bytes
+}
+
+// workerNames caches the recurring per-thread names: queues are rebuilt
+// every rep, and re-formatting identical names each time is measurable in
+// batched series.
+var workerNames = func() (s [64]string) {
+	for i := range s {
+		s[i] = fmt.Sprintf("sycl-worker-%d", i)
+	}
+	return
+}()
+
+func workerName(i int) string {
+	if i >= 0 && i < len(workerNames) {
+		return workerNames[i]
+	}
+	return fmt.Sprintf("sycl-worker-%d", i)
 }

@@ -74,3 +74,20 @@ func (tr *Tracer) Finish(execTime sim.Time, platform, workload, model, strategy 
 
 // Trace returns the trace recorded so far (unsorted, unlabelled).
 func (tr *Tracer) Trace() *Trace { return tr.trace }
+
+// Detach hands ownership of the recorded trace to the caller and re-arms
+// the tracer with a fresh buffer sized to the run just recorded, so a
+// reused tracer appends into right-sized storage instead of re-growing
+// from zero (event storage must escape with the result either way; sizing
+// the next buffer from the last run eliminates the growth-chain reallocs
+// and copies, which dominated per-rep allocation). The new buffer carries
+// the old one's capacity, not its length: event counts vary a little from
+// rep to rep, and sizing to the previous length made every
+// slightly-longer rep pay one full-buffer realloc and copy. Call it after
+// Finish — and after any post-run shutdown records the caller wants
+// included.
+func (tr *Tracer) Detach() *Trace {
+	t := tr.trace
+	tr.trace = &Trace{Events: make([]Event, 0, cap(t.Events))}
+	return t
+}
