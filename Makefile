@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-tables bench-quick benchdiff examples clean cover test-service fuzz-smoke serve
+.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-service bench-tables bench-quick benchdiff benchdiff-service examples clean cover test-service test-fleet fuzz-smoke serve serve-fleet
 
 all: build vet test
 
@@ -32,6 +32,14 @@ race:
 test-service:
 	$(GO) test -race ./internal/service/ ./internal/rescache/
 
+# The sharded-fleet layer: ring/splitter/merger property tests and the
+# 3-backend coordinator e2e suite under the race detector, plus the SSE
+# stream contract (repeated: subscriber registration races only surface
+# across runs).
+test-fleet:
+	$(GO) test -race ./internal/fleet/
+	$(GO) test -race -count=3 -run 'TestSSE' ./internal/service/
+
 # Short deterministic-budget fuzz smoke of the two fuzz targets (the cache
 # key canonicalization and the trace codec round trip). `go test -fuzz`
 # accepts one target per package invocation, hence the two runs. FUZZTIME
@@ -41,10 +49,19 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run xxx -fuzz 'FuzzTraceCodecRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/service -run xxx -fuzz 'FuzzSpecHashCanonical$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiment -run xxx -fuzz 'FuzzBatchEqualsFresh$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fleet -run xxx -fuzz 'FuzzRingPlacement$$' -fuzztime $(FUZZTIME)
 
 # Run the daemon locally with a throwaway cache.
 serve:
 	$(GO) run ./cmd/noiselabd -addr :8723 -cache-dir /tmp/noiselab-cache
+
+# Run a 3-backend fleet locally: three daemons on :8724-:8726 plus the
+# coordinator on :8733. Ctrl-C tears the whole process group down.
+serve-fleet:
+	$(GO) run ./cmd/noiselabd -addr :8724 -cache-dir /tmp/noiselab-cache-0 & \
+	$(GO) run ./cmd/noiselabd -addr :8725 -cache-dir /tmp/noiselab-cache-1 & \
+	$(GO) run ./cmd/noiselabd -addr :8726 -cache-dir /tmp/noiselab-cache-2 & \
+	$(GO) run ./cmd/noisefleet -addr :8733 -backends http://localhost:8724,http://localhost:8725,http://localhost:8726
 
 # Full benchmark harness: every table, figure, and ablation.
 bench:
@@ -92,6 +109,23 @@ bench-cluster:
 	  -benchmem -benchtime $(CLUSTER_BENCHTIME) -timeout 1h \
 	| $(GO) run ./cmd/benchjson -note "straggler study: 4 x tiny-test, node 0 at x40 noise, 3 tenants x 8 fork-join jobs (see StragglerStudySpec)" > BENCH_cluster.json
 	@cat BENCH_cluster.json
+
+# Service-layer throughput evidence: end-to-end jobs/sec and p99 latency
+# through a coordinator fanning each job over three in-process backends,
+# plus the merged-cache resubmit fast path, recorded as committed JSON.
+# The custom jobs/s and p99-ms metrics land in each benchmark's Extra map.
+SERVICE_BENCHTIME ?= 100x
+bench-service:
+	$(GO) test ./internal/fleet/ -run xxx -bench 'BenchmarkFleet' -benchmem -benchtime $(SERVICE_BENCHTIME) -timeout 1h \
+	| $(GO) run ./cmd/benchjson -note "3-backend in-process fleet, tiny-test kernel x6 reps per job (host is a noisy VM: compare allocs and same-day paired runs, not raw ns across files); cached resubmit must answer from the coordinator's merged cache without touching a backend" > BENCH_service.json
+	@cat BENCH_service.json
+
+# Regression gate for the fleet path, mirroring `benchdiff`: fresh fleet
+# benchmarks against the committed BENCH_service.json.
+BENCHDIFF_SERVICE_MATCH ?= BenchmarkFleetThroughput$$
+benchdiff-service:
+	$(GO) test ./internal/fleet/ -run xxx -bench 'BenchmarkFleet' -benchmem -benchtime $(SERVICE_BENCHTIME) -timeout 1h \
+	| $(GO) run ./cmd/benchdiff -old BENCH_service.json -match '$(BENCHDIFF_SERVICE_MATCH)' -fail-over $(BENCHDIFF_FAIL_OVER)
 
 # Only the paper's tables/figures (skips ablations and micro-benches).
 bench-tables:

@@ -5,6 +5,7 @@ package main
 // job, get fetches the stored result payload, cancel aborts a job.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -12,14 +13,40 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
 // serverFlag adds the shared -server flag.
 func serverFlag(fs *flag.FlagSet) *string {
 	return fs.String("server", "http://localhost:8723", "noiselabd base URL")
+}
+
+// fleetDefault is the noisefleet coordinator's default base URL, used when
+// -fleet is set and -server was left at the noiselabd default.
+const fleetDefault = "http://localhost:8733"
+
+// resolveServer picks the target base URL: -fleet retargets an untouched
+// -server at the coordinator's default port (the coordinator's API mirrors
+// noiselabd's, so everything downstream is shared).
+func resolveServer(fs *flag.FlagSet, server string, fleetMode bool) string {
+	if fleetMode && !flagChanged(fs, "server") {
+		return fleetDefault
+	}
+	return server
+}
+
+func flagChanged(fs *flag.FlagSet, name string) bool {
+	changed := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			changed = true
+		}
+	})
+	return changed
 }
 
 // apiGet fetches path and decodes the JSON body into v (when non-nil),
@@ -59,9 +86,14 @@ func cmdSubmit(args []string) error {
 	size := c.fs.String("size", "", "problem size: default or small")
 	tracing := c.fs.Bool("tracing", false, "record per-rep traces in the result")
 	wait := c.fs.Bool("wait", false, "poll until the job finishes and print the summary")
+	fleetMode := c.fs.Bool("fleet", false,
+		"target a noisefleet coordinator (default server becomes "+fleetDefault+"); prints per-shard detail with -wait")
+	events := c.fs.Bool("events", false,
+		"with -wait: follow the job's SSE event stream (live rep progress on stderr) instead of polling")
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	base := resolveServer(c.fs, *server, *fleetMode)
 	spec := service.JobSpec{
 		Platform: *c.platform, Workload: *c.workload, Model: *c.model,
 		Strategy: *c.strategy, Seed: *c.seed, Reps: *reps, Size: *size,
@@ -71,7 +103,7 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(*server+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -87,14 +119,78 @@ func cmdSubmit(args []string) error {
 	if !*wait {
 		return nil
 	}
-	st, err = pollJob(*server, st.ID)
+	if *events {
+		if err := followEvents(base, st.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v; falling back to polling\n", err)
+		}
+	}
+	st, err = pollJob(base, st.ID)
 	if err != nil {
 		return err
 	}
 	if st.State != service.StateDone {
 		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
 	}
-	return fetchAndPrint(*server, st.ID, "")
+	if *fleetMode {
+		printShards(base, st.ID)
+	}
+	return fetchAndPrint(base, st.ID, "")
+}
+
+// followEvents streams a job's SSE events, echoing progress to stderr, and
+// returns once a terminal state event arrives (or the stream breaks — the
+// caller's status poll then settles the final state).
+func followEvents(server, id string) error {
+	resp, err := http.Get(server + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errBody(resp)
+	}
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "":
+			switch event {
+			case "progress":
+				var p struct{ Done, Total int }
+				if json.Unmarshal([]byte(data), &p) == nil {
+					fmt.Fprintf(os.Stderr, "\rreps %d/%d", p.Done, p.Total)
+				}
+			case "state":
+				var s struct {
+					State service.JobState `json:"state"`
+				}
+				if json.Unmarshal([]byte(data), &s) == nil && s.State.Terminal() {
+					fmt.Fprintf(os.Stderr, "\rjob %s %s\n", id, s.State)
+					return nil
+				}
+			}
+			event, data = "", ""
+		}
+	}
+	return sc.Err()
+}
+
+// printShards reports a fleet job's per-sub-job placement (best-effort:
+// non-coordinator servers simply return no sub_jobs).
+func printShards(server, id string) {
+	var st fleet.Status
+	if code, err := apiGet(server, "/v1/jobs/"+id, &st); err != nil || code != http.StatusOK {
+		return
+	}
+	for _, s := range st.SubJobs {
+		fmt.Printf("  shard offset=%d reps=%d node=%s job=%s cached=%v retries=%d\n",
+			s.Offset, s.Reps, s.Node, s.JobID, s.Cached, s.Retries)
+	}
 }
 
 // pollJob polls until the job reaches a terminal state.

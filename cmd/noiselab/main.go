@@ -29,7 +29,8 @@
 //	cluster              simulated-datacenter straggler study: placement
 //	                     policies on a multi-node topology
 //	submit status get cancel
-//	                     client mode against a running noiselabd
+//	                     client mode against a running noiselabd (or, with
+//	                     submit -fleet, a noisefleet coordinator)
 package main
 
 import (
@@ -213,6 +214,7 @@ func usage() {
                       [-reps N] [-seed N] [-o study.json]
   noiselab submit     -server URL -platform P -workload W -model M -strategy S
                       [-seed N] [-reps N] [-size small] [-tracing] [-wait]
+                      [-events] [-fleet]
   noiselab status     -server URL -job ID
   noiselab get        -server URL -job ID [-o result.json]
   noiselab cancel     -server URL -job ID

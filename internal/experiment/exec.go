@@ -23,6 +23,14 @@ const seedStride = 1000003
 // seedAt derives the seed for rep i of a series starting at base.
 func seedAt(base uint64, i int) uint64 { return base + uint64(i)*seedStride }
 
+// SeedAt is the exported form of the per-rep seed derivation. Because every
+// execution path (plain, batched, cluster) derives rep i's seed as
+// base + i*stride, a series starting at SeedAt(base, off) runs exactly reps
+// [off, off+n) of the series starting at base — the property the fleet's
+// rep splitter uses to fan one job's repetitions across backends and merge
+// the index-addressed slices byte-identically.
+func SeedAt(base uint64, i int) uint64 { return seedAt(base, i) }
+
 // ProgressFunc receives completion updates from a running study: done of
 // total units are finished, and label names the unit that just completed.
 // Callbacks are serialized; keep them fast.

@@ -1,0 +1,129 @@
+package fleet
+
+// Service-layer benchmark evidence: end-to-end job throughput through a
+// coordinator fanning reps over three in-process noiselabd backends, plus
+// the merged-cache resubmit fast path. The custom metrics (jobs/s, p99-ms)
+// are what `make bench-service` records into BENCH_service.json.
+
+import (
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newBenchFleet stands up n in-process backends and a coordinator, with a
+// channel carrying terminal-state notifications (the benchmarks submit one
+// job at a time, so a single buffered channel is enough).
+func newBenchFleet(b *testing.B, n int) (*Coordinator, chan service.JobState) {
+	b.Helper()
+	var backends []*service.Server
+	var backendTS []*httptest.Server
+	cfg := Config{JobTimeout: 2 * time.Minute}
+	for i := 0; i < n; i++ {
+		srv, err := service.New(service.Config{CacheDir: b.TempDir(), JobTimeout: 2 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		backends = append(backends, srv)
+		backendTS = append(backendTS, ts)
+		cfg.Backends = append(cfg.Backends, ts.URL)
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The benchmarks keep at most one uncached job in flight, so a dropped
+	// notification can only come from the merged-cache fast path (whose
+	// Submit already returns a terminal status nobody waits on) — the hook
+	// must never block Submit when that path floods the channel.
+	terminal := make(chan service.JobState, 16)
+	coord.testHookJobUpdate = func(id string, state service.JobState) {
+		if state.Terminal() {
+			select {
+			case terminal <- state:
+			default:
+			}
+		}
+	}
+	b.Cleanup(func() {
+		coord.Close()
+		for i := range backends {
+			backendTS[i].Close()
+			backends[i].Close()
+		}
+	})
+	return coord, terminal
+}
+
+func p99ms(latencies []time.Duration) float64 {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	idx := (99*len(latencies) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(latencies[idx].Microseconds()) / 1000
+}
+
+// BenchmarkFleetThroughput submits distinct jobs (no cache reuse anywhere)
+// through the coordinator and waits for each merged result: the full
+// split → fan-out → execute → merge → cache path per iteration.
+func BenchmarkFleetThroughput(b *testing.B) {
+	coord, terminal := newBenchFleet(b, 3)
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		st, err := coord.Submit(kernelSpec(uint64(10_000+i), 6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.State.Terminal() {
+			if got := <-terminal; got != service.StateDone {
+				b.Fatalf("job %s: %s", st.ID, got)
+			}
+		} else if st.State != service.StateDone {
+			b.Fatalf("job %s: %s", st.ID, st.State)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(p99ms(latencies), "p99-ms")
+}
+
+// BenchmarkFleetCachedResubmit resubmits one already-merged spec: the
+// coordinator must answer from its merged-result cache without touching
+// any backend, so this bounds the coordinator's own bookkeeping overhead.
+func BenchmarkFleetCachedResubmit(b *testing.B) {
+	coord, terminal := newBenchFleet(b, 3)
+	spec := kernelSpec(20_001, 6)
+	st, err := coord.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !st.State.Terminal() {
+		if got := <-terminal; got != service.StateDone {
+			b.Fatalf("warm-up job: %s", got)
+		}
+	}
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		st, err := coord.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != service.StateDone || !st.Cached {
+			b.Fatalf("resubmit not served from merged cache: state=%s cached=%v", st.State, st.Cached)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(p99ms(latencies), "p99-ms")
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Merge reassembles the sub-job result payloads (in Offset order, one per
+// SubJob from Split) into the parent job's result payload. The output is
+// byte-identical to what a single noiselabd would have produced for the
+// parent spec, by construction: the per-rep slices concatenate in index
+// order and the final bytes come from the same service.BuildResult /
+// BuildClusterResult encoders the daemon itself uses.
+func Merge(parentHash string, parent service.JobSpec, subs []SubJob, payloads [][]byte) ([]byte, error) {
+	if len(subs) != len(payloads) {
+		return nil, fmt.Errorf("fleet: %d sub-jobs but %d payloads", len(subs), len(payloads))
+	}
+	var (
+		times    []sim.Time
+		traces   []*trace.Trace
+		clusters []*cluster.Result
+	)
+	for i, raw := range payloads {
+		var res service.JobResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			return nil, fmt.Errorf("fleet: decoding sub-job %d result: %w", i, err)
+		}
+		if res.ModelVersion != experiment.ModelVersion {
+			return nil, fmt.Errorf("fleet: sub-job %d ran model %q, coordinator expects %q",
+				i, res.ModelVersion, experiment.ModelVersion)
+		}
+		if res.SpecHash != subs[i].Hash {
+			return nil, fmt.Errorf("fleet: sub-job %d returned hash %s, want %s",
+				i, res.SpecHash, subs[i].Hash)
+		}
+		if got, want := len(res.TimesNs), subs[i].Spec.Reps; got != want {
+			return nil, fmt.Errorf("fleet: sub-job %d returned %d reps, want %d", i, got, want)
+		}
+		if len(times) != subs[i].Offset {
+			return nil, fmt.Errorf("fleet: sub-job %d starts at offset %d, have %d reps so far",
+				i, subs[i].Offset, len(times))
+		}
+		for _, ns := range res.TimesNs {
+			times = append(times, sim.Time(ns))
+		}
+		if parent.Cluster != nil {
+			if len(res.Cluster) != subs[i].Spec.Reps {
+				return nil, fmt.Errorf("fleet: sub-job %d returned %d cluster results, want %d",
+					i, len(res.Cluster), subs[i].Spec.Reps)
+			}
+			clusters = append(clusters, res.Cluster...)
+		} else if parent.Tracing {
+			if len(res.Traces) != subs[i].Spec.Reps {
+				return nil, fmt.Errorf("fleet: sub-job %d returned %d traces, want %d",
+					i, len(res.Traces), subs[i].Spec.Reps)
+			}
+			traces = append(traces, res.Traces...)
+		}
+	}
+	if got, want := len(times), parent.Reps; got != want {
+		return nil, fmt.Errorf("fleet: merged %d reps, parent wants %d", got, want)
+	}
+	if parent.Cluster != nil {
+		return service.BuildClusterResult(parentHash, parent, clusters)
+	}
+	return service.BuildResult(parentHash, parent, times, traces)
+}

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// fanoutBounds bucket the sub-job fan-out width per fleet job.
+var fanoutBounds = []float64{1, 2, 4, 8, 16, 32}
+
+// fleetLatencyBounds bucket coordinator-side job wall latency (seconds).
+var fleetLatencyBounds = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120}
+
+// metrics aggregates the coordinator's counters on an obs.Registry, the same
+// machinery noiselabd and the kernel publish through. The shard hit ratio is
+// a GaugeFunc so the rendered value can never drift from the counters it
+// derives from.
+type metrics struct {
+	reg *obs.Registry
+
+	submitted  *obs.Counter
+	done       *obs.Counter
+	failed     *obs.Counter
+	canceled   *obs.Counter
+	inflight   *obs.Gauge
+	subJobs    *obs.Counter
+	subRetries *obs.Counter
+	// subCacheHits counts sub-jobs whose backend answered from its shard
+	// cache without an engine execution; with subJobs it yields the fleet's
+	// shard hit ratio.
+	subCacheHits *obs.Counter
+	// mergedHits counts fleet jobs served from the coordinator's own merged
+	// result cache (zero sub-jobs dispatched).
+	mergedHits *obs.Counter
+	fanout     *obs.Histogram
+	latency    *obs.Histogram
+
+	backendUp map[string]*obs.Gauge
+}
+
+func newMetrics(backends []string) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:       reg,
+		submitted: reg.Counter("noisefleet_jobs_submitted_total", "Fleet jobs accepted by the coordinator."),
+		done:      reg.Counter(`noisefleet_jobs_total{state="done"}`, "Fleet jobs by terminal state."),
+		failed:    reg.Counter(`noisefleet_jobs_total{state="failed"}`, "Fleet jobs by terminal state."),
+		canceled:  reg.Counter(`noisefleet_jobs_total{state="canceled"}`, "Fleet jobs by terminal state."),
+		inflight:  reg.Gauge("noisefleet_jobs_inflight", "Fleet jobs currently executing."),
+		subJobs:   reg.Counter("noisefleet_subjobs_total", "Sub-jobs dispatched to backends."),
+		subRetries: reg.Counter("noisefleet_subjob_retries_total",
+			"Sub-job attempts re-routed to another ring node after a backend failure."),
+		subCacheHits: reg.Counter("noisefleet_subjob_cache_hits_total",
+			"Sub-jobs served from a backend's shard cache without execution."),
+		mergedHits: reg.Counter("noisefleet_merged_cache_hits_total",
+			"Fleet jobs served from the coordinator's merged-result cache."),
+		fanout: reg.Histogram("noisefleet_fanout_width",
+			"Sub-job fan-out width per fleet job.", fanoutBounds),
+		latency: reg.Histogram("noisefleet_job_latency_hist_seconds",
+			"Fleet job wall latency distribution.", fleetLatencyBounds),
+		backendUp: make(map[string]*obs.Gauge, len(backends)),
+	}
+	m.reg.GaugeFunc("noisefleet_shard_hit_ratio",
+		"Fraction of dispatched sub-jobs served from shard caches.",
+		func() float64 {
+			total := m.subJobs.Value()
+			if total == 0 {
+				return 0
+			}
+			return float64(m.subCacheHits.Value()) / float64(total)
+		})
+	for _, b := range backends {
+		g := reg.Gauge(fmt.Sprintf("noisefleet_backend_up{backend=%q}", b),
+			"Backend liveness as observed by the coordinator (1 = last contact succeeded).")
+		g.Set(1)
+		m.backendUp[b] = g
+	}
+	return m
+}
+
+// setBackendUp records the coordinator's view of a backend's liveness.
+func (m *metrics) setBackendUp(name string, up bool) {
+	g, ok := m.backendUp[name]
+	if !ok {
+		return
+	}
+	if up {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
+func (m *metrics) jobFinished(state string, latencySecs float64) {
+	m.inflight.AddFloor(-1, 0)
+	switch state {
+	case "done":
+		m.done.Inc()
+	case "failed":
+		m.failed.Inc()
+	case "canceled":
+		m.canceled.Inc()
+	}
+	m.latency.Observe(latencySecs)
+}

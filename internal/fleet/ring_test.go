@@ -1,0 +1,190 @@
+package fleet
+
+// Property tests of the consistent-hash ring — the placement function the
+// whole fleet design leans on. Three properties are pinned: load balance
+// (no node owns more than 2x its fair share of 1k keys), minimal remapping
+// (a join steals keys only for itself; a leave moves only the departed
+// node's keys), and purity (placement depends only on the key and the
+// member SET, never on construction order or duplicates — fuzzed).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("http://node%d:8723", i)
+	}
+	return ms
+}
+
+func testKeys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("spec-hash-%04d", i)
+	}
+	return ks
+}
+
+func TestRingBalance(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8} {
+		ring := NewRing(testMembers(nodes), 0)
+		keys := testKeys(1000)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[ring.Pick(k)]++
+		}
+		if len(counts) != nodes {
+			t.Fatalf("%d nodes: only %d received keys: %v", nodes, len(counts), counts)
+		}
+		ideal := float64(len(keys)) / float64(nodes)
+		for node, n := range counts {
+			if f := float64(n); f > 2*ideal {
+				t.Errorf("%d nodes: %s owns %d keys, over 2x ideal %.0f", nodes, node, n, ideal)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin pins consistent hashing's defining property:
+// when a node joins, a key either keeps its owner or moves TO the joiner —
+// never between two old nodes — and the joiner takes roughly its fair share.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	old := NewRing(testMembers(3), 0)
+	grown := NewRing(testMembers(4), 0) // node3 joined
+	joiner := testMembers(4)[3]
+	keys := testKeys(1000)
+	moved := 0
+	for _, k := range keys {
+		before, after := old.Pick(k), grown.Pick(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != joiner {
+			t.Fatalf("key %s moved %s -> %s, not to the joiner %s", k, before, after, joiner)
+		}
+	}
+	// The joiner's fair share is K/N = 250; allow 2x for hash variance.
+	if max := 2 * len(keys) / 4; moved > max {
+		t.Errorf("join remapped %d of %d keys, want <= %d", moved, len(keys), max)
+	}
+	if moved == 0 {
+		t.Error("join remapped nothing — the new node receives no load")
+	}
+}
+
+// TestRingMinimalRemapOnLeave is the inverse: only the departed node's keys
+// move; every other key keeps its owner.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	full := NewRing(testMembers(4), 0)
+	leaver := testMembers(4)[2]
+	var rest []string
+	for _, m := range testMembers(4) {
+		if m != leaver {
+			rest = append(rest, m)
+		}
+	}
+	shrunk := NewRing(rest, 0)
+	moved := 0
+	for _, k := range testKeys(1000) {
+		before, after := full.Pick(k), shrunk.Pick(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if before != leaver {
+			t.Fatalf("key %s moved %s -> %s though %s left", k, before, after, leaver)
+		}
+	}
+	if max := 2 * 1000 / 4; moved > max {
+		t.Errorf("leave remapped %d keys, want <= %d", moved, max)
+	}
+}
+
+// TestRingPurity: construction order and duplicates do not affect placement.
+func TestRingPurity(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2", "n1", "", "n3"}, 64)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member sets differ: %v vs %v", a.Members(), b.Members())
+	}
+	for _, k := range testKeys(200) {
+		if a.Pick(k) != b.Pick(k) {
+			t.Fatalf("key %s: %s vs %s", k, a.Pick(k), b.Pick(k))
+		}
+		if !reflect.DeepEqual(a.Seq(k), b.Seq(k)) {
+			t.Fatalf("key %s: failover %v vs %v", k, a.Seq(k), b.Seq(k))
+		}
+	}
+}
+
+// TestRingSeq: the failover walk starts at the owner and visits every member
+// exactly once.
+func TestRingSeq(t *testing.T) {
+	ring := NewRing(testMembers(5), 0)
+	for _, k := range testKeys(50) {
+		seq := ring.Seq(k)
+		if len(seq) != 5 {
+			t.Fatalf("key %s: walk has %d nodes, want 5", k, len(seq))
+		}
+		if seq[0] != ring.Pick(k) {
+			t.Fatalf("key %s: walk starts at %s, owner is %s", k, seq[0], ring.Pick(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %s: walk repeats %s: %v", k, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	ring := NewRing(nil, 0)
+	if got := ring.Pick("anything"); got != "" {
+		t.Fatalf("empty ring placed a key on %q", got)
+	}
+	if got := ring.Seq("anything"); got != nil {
+		t.Fatalf("empty ring returned a walk: %v", got)
+	}
+}
+
+// FuzzRingPlacement fuzzes the purity property: placement is a pure
+// function of (key, member set). A ring built from any rotation of the
+// member list, with one member duplicated, must place every key on the same
+// node with the same failover walk.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add("spec-hash-0000", "http://a:1", "http://b:2", "http://c:3", uint64(1))
+	f.Add("", "n1", "n2", "n3", uint64(2))
+	f.Add("k", "x", "x", "y", uint64(0))
+	f.Fuzz(func(t *testing.T, key, m1, m2, m3 string, rot uint64) {
+		members := []string{m1, m2, m3}
+		r := int(rot % 3)
+		rotated := append(append([]string{}, members[r:]...), members[:r]...)
+		rotated = append(rotated, members[r]) // a duplicate must be a no-op
+
+		a := NewRing(members, 32)
+		b := NewRing(rotated, 32)
+		if got, want := b.Pick(key), a.Pick(key); got != want {
+			t.Fatalf("Pick(%q): %q (rotated) vs %q", key, got, want)
+		}
+		if got, want := b.Seq(key), a.Seq(key); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Seq(%q): %v (rotated) vs %v", key, got, want)
+		}
+		// Placement must always land on a member (or "" only when the
+		// member set is empty after dedup).
+		owner := a.Pick(key)
+		valid := owner == "" && len(a.Members()) == 0
+		for _, m := range a.Members() {
+			valid = valid || m == owner
+		}
+		if !valid {
+			t.Fatalf("Pick(%q) = %q, not in members %v", key, owner, a.Members())
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/service"
+)
+
+// SubJob is one shard-sized slice of a job's repetitions: reps
+// [Offset, Offset+Spec.Reps) of the parent series, re-expressed as a
+// self-contained JobSpec any noiselabd can execute.
+//
+// The re-expression is exact, not approximate: every execution path derives
+// rep i's seed as base + i*stride (experiment.SeedAt), so a sub-spec whose
+// base seed is SeedAt(parent.Seed, Offset) runs precisely the parent's reps
+// Offset.. — same seeds, same results, same bytes. Each sub-spec has its own
+// content key, so the shard that owns it caches it independently of every
+// other slice.
+type SubJob struct {
+	// Offset is the first parent rep index this slice covers.
+	Offset int
+	// Spec is the executable slice (Seed shifted, Reps = slice length).
+	Spec service.JobSpec
+	// Hash is the slice's rescache content key — the ring placement key.
+	Hash string
+}
+
+// Split carves a normalized, validated parent spec into at most width
+// contiguous sub-jobs of near-equal size (the first reps%width slices get
+// one extra rep). width is clamped to [1, parent.Reps]. The parent's
+// Timeline flag survives only on the slice containing rep 0, matching the
+// single-node semantics of "record rep 0's timeline".
+func Split(parent service.JobSpec, width int) ([]SubJob, error) {
+	reps := parent.Reps
+	if reps < 1 {
+		return nil, fmt.Errorf("fleet: cannot split %d reps", reps)
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > reps {
+		width = reps
+	}
+	base, rem := reps/width, reps%width
+	subs := make([]SubJob, 0, width)
+	off := 0
+	for i := 0; i < width; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		spec := parent
+		spec.Seed = experiment.SeedAt(parent.Seed, off)
+		spec.Reps = n
+		spec.Timeline = parent.Timeline && off == 0
+		hash, err := service.SpecHash(&spec)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: hashing sub-job %d: %w", i, err)
+		}
+		subs = append(subs, SubJob{Offset: off, Spec: spec, Hash: hash})
+		off += n
+	}
+	return subs, nil
+}

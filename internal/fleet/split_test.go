@@ -1,0 +1,266 @@
+package fleet
+
+// Splitter/merger determinism: a rep series split into sub-jobs, executed
+// slice by slice (at any parallelism, with or without the passive obs
+// recorder attached), and merged, must be byte-identical to the unsplit
+// single-node payload. This is the property that makes fleet fan-out safe.
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func kernelSpec(seed uint64, reps int) service.JobSpec {
+	return service.JobSpec{
+		Platform: "tiny-test", Workload: "schedbench", Size: "small",
+		Model: "omp", Strategy: "Rm", Seed: seed, Reps: reps,
+	}
+}
+
+func clusterSpec(seed uint64, reps int) service.JobSpec {
+	return service.JobSpec{
+		Seed: seed, Reps: reps,
+		Cluster: &cluster.Spec{
+			Nodes: 2, Straggler: 1, StragglerScale: 4, Policy: "round-robin",
+			Tenants: 1, JobsPerTenant: 2, Width: 2, WorkerMs: 1, ArrivalMs: 1,
+		},
+	}
+}
+
+func TestSplitCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		reps := 1 + rng.Intn(50)
+		width := 1 + rng.Intn(8)
+		parent := kernelSpec(uint64(i), reps)
+		parent.Timeline = true
+		subs, err := Split(parent, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subs) > width || len(subs) > reps {
+			t.Fatalf("reps=%d width=%d: %d subs", reps, width, len(subs))
+		}
+		next, total := 0, 0
+		for j, sub := range subs {
+			if sub.Offset != next {
+				t.Fatalf("sub %d: offset %d, want %d (contiguous)", j, sub.Offset, next)
+			}
+			if sub.Spec.Reps < 1 {
+				t.Fatalf("sub %d: empty slice", j)
+			}
+			if want := experiment.SeedAt(parent.Seed, sub.Offset); sub.Spec.Seed != want {
+				t.Fatalf("sub %d: seed %d, want SeedAt(%d,%d)=%d", j, sub.Spec.Seed, parent.Seed, sub.Offset, want)
+			}
+			if sub.Spec.Timeline != (sub.Offset == 0) {
+				t.Fatalf("sub %d (offset %d): timeline=%v — only the offset-0 slice records one",
+					j, sub.Offset, sub.Spec.Timeline)
+			}
+			if sub.Hash == "" {
+				t.Fatalf("sub %d: no content key", j)
+			}
+			next += sub.Spec.Reps
+			total += sub.Spec.Reps
+		}
+		if total != reps {
+			t.Fatalf("reps=%d width=%d: slices cover %d", reps, width, total)
+		}
+		// Near-even: slice sizes differ by at most one rep.
+		min, max := reps, 0
+		for _, sub := range subs {
+			if sub.Spec.Reps < min {
+				min = sub.Spec.Reps
+			}
+			if sub.Spec.Reps > max {
+				max = sub.Spec.Reps
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("reps=%d width=%d: uneven slices (min %d, max %d)", reps, width, min, max)
+		}
+	}
+}
+
+// runKernelDirect produces the single-node payload for a kernel spec.
+func runKernelDirect(t *testing.T, spec service.JobSpec, parallelism int, withObs bool) []byte {
+	t.Helper()
+	hash, err := service.SpecHash(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := experiment.Executor{Parallelism: parallelism}
+	if withObs {
+		exec.Obs = &experiment.ObsOptions{Reg: obs.NewRegistry()}
+	}
+	resolved, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, traces, err := exec.Series(context.Background(), resolved, spec.Reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := service.BuildResult(hash, spec, times, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// runFleetKernel splits, executes each slice independently, and merges.
+func runFleetKernel(t *testing.T, spec service.JobSpec, width, parallelism int, withObs bool) []byte {
+	t.Helper()
+	hash, err := service.SpecHash(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := Split(spec, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(subs))
+	for i, sub := range subs {
+		exec := experiment.Executor{Parallelism: parallelism}
+		if withObs {
+			exec.Obs = &experiment.ObsOptions{Reg: obs.NewRegistry()}
+		}
+		resolved, err := sub.Spec.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		times, traces, err := exec.Series(context.Background(), resolved, sub.Spec.Reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payloads[i], err = service.BuildResult(sub.Hash, sub.Spec, times, traces); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(hash, spec, subs, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+func TestMergeByteIdenticalKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		reps := 2 + rng.Intn(14)
+		width := 1 + rng.Intn(5)
+		spec := kernelSpec(uint64(100+i), reps)
+		if i%2 == 1 {
+			spec.Tracing = true // traces must reassemble in rep order too
+		}
+		want := runKernelDirect(t, spec, 1, false)
+		for _, parallelism := range []int{1, 8} {
+			for _, withObs := range []bool{false, true} {
+				got := runFleetKernel(t, spec, width, parallelism, withObs)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("reps=%d width=%d par=%d obs=%v: merged payload differs\nwant %s\ngot  %s",
+						reps, width, parallelism, withObs, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeByteIdenticalCluster(t *testing.T) {
+	spec := clusterSpec(55, 6)
+	hash, err := service.SpecHash(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := experiment.Executor{Parallelism: 1}.ClusterSeries(
+		context.Background(), *spec.Cluster, spec.Seed, spec.Reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := service.BuildClusterResult(hash, spec, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, width := range []int{1, 2, 3, 6} {
+		subs, err := Split(spec, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads := make([][]byte, len(subs))
+		for i, sub := range subs {
+			rs, err := experiment.Executor{Parallelism: 4}.ClusterSeries(
+				context.Background(), *sub.Spec.Cluster, sub.Spec.Seed, sub.Spec.Reps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if payloads[i], err = service.BuildClusterResult(sub.Hash, sub.Spec, rs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := Merge(hash, spec, subs, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("width=%d: merged cluster payload differs", width)
+		}
+	}
+}
+
+// TestMergeRejectsCorruptSlices: the merger refuses mismatched model
+// versions, wrong slice lengths, and gapped offsets instead of silently
+// fabricating a result.
+func TestMergeRejectsCorruptSlices(t *testing.T) {
+	spec := kernelSpec(9, 6)
+	hash, err := service.SpecHash(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := Split(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(subs))
+	for i, sub := range subs {
+		resolved, _ := sub.Spec.Resolve()
+		times, traces, err := experiment.Executor{Parallelism: 1}.Series(context.Background(), resolved, sub.Spec.Reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payloads[i], err = service.BuildResult(sub.Hash, sub.Spec, times, traces); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Merge(hash, spec, subs, payloads); err != nil {
+		t.Fatalf("healthy merge failed: %v", err)
+	}
+
+	corrupt := func(name string, mutate func(p [][]byte, s []SubJob)) {
+		ps := make([][]byte, len(payloads))
+		copy(ps, payloads)
+		ss := append([]SubJob(nil), subs...)
+		mutate(ps, ss)
+		if _, err := Merge(hash, spec, ss, ps); err == nil {
+			t.Errorf("%s: merge accepted corrupt slices", name)
+		}
+	}
+	corrupt("wrong model version", func(p [][]byte, s []SubJob) {
+		p[1] = bytes.Replace(p[1], []byte(experiment.ModelVersion), []byte("v0.0-bogus"), 1)
+	})
+	corrupt("truncated slice", func(p [][]byte, s []SubJob) {
+		p[2] = bytes.Replace(p[2], []byte(`"times_ns":[`), []byte(`"times_ns":[1,`), 1)
+	})
+	corrupt("payload count mismatch", func(p [][]byte, s []SubJob) {
+		p[0] = nil
+	})
+	corrupt("swapped slices", func(p [][]byte, s []SubJob) {
+		p[0], p[1] = p[1], p[0]
+	})
+}

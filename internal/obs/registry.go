@@ -26,6 +26,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	funcs    map[string]func() float64
 	help     map[string]string // by family
 }
 
@@ -35,6 +36,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
 		help:     make(map[string]string),
 	}
 }
@@ -78,6 +80,22 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.gauges[name] = g
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at render time — for
+// derived metrics (hit ratios, utilization fractions) that would otherwise
+// drift from the counters they summarize between updates. fn is called with
+// the registry lock held, so it must not call back into the registry; reading
+// Counter/Gauge values directly (atomic loads) is safe. Registration is
+// idempotent like the other metric kinds: the first fn for a name wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; ok {
+		return
+	}
+	r.setHelp(name, help)
+	r.funcs[name] = fn
 }
 
 // Histogram returns the histogram with this name, creating it on first use
@@ -200,6 +218,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for name := range r.gauges {
 		add(name, "gauge")
 	}
+	for name := range r.funcs {
+		add(name, "gaugefunc")
+	}
 	for name := range r.hists {
 		add(name, "histogram")
 	}
@@ -214,13 +235,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		if help := r.help[fname]; help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", fname, help)
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", fname, f.typ)
+		typ := f.typ
+		if typ == "gaugefunc" { // computed gauges render as plain gauges
+			typ = "gauge"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fname, typ)
 		for _, name := range f.names {
 			switch f.typ {
 			case "counter":
 				fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value())
 			case "gauge":
 				fmt.Fprintf(w, "%s %d\n", name, r.gauges[name].Value())
+			case "gaugefunc":
+				fmt.Fprintf(w, "%s %.6f\n", name, r.funcs[name]())
 			case "histogram":
 				s := r.hists[name].Snapshot()
 				var cum uint64
@@ -245,6 +272,7 @@ func trimFloat(f float64) string {
 type registryJSON struct {
 	Counters   map[string]uint64       `json:"counters,omitempty"`
 	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	GaugeFuncs map[string]float64      `json:"gauge_funcs,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
@@ -263,6 +291,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		out.Gauges = make(map[string]int64, len(r.gauges))
 		for name, g := range r.gauges {
 			out.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.funcs) > 0 {
+		out.GaugeFuncs = make(map[string]float64, len(r.funcs))
+		for name, fn := range r.funcs {
+			out.GaugeFuncs[name] = fn()
 		}
 	}
 	if len(r.hists) > 0 {

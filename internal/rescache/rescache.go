@@ -20,6 +20,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,6 +117,27 @@ func (c *Cache) Stats() Stats {
 // digests never contain '-') and collision-free with primary keys.
 func DerivedKey(base, suffix string) string {
 	return base + "-" + suffix
+}
+
+// KeyPoint maps a content key (or any stable label) to a point on the
+// 64-bit hash ring used for shard placement. The fleet coordinator places
+// each sub-job on the backend owning its content key's point, so a given
+// key always lands on the same shard and per-shard caches stay hot and
+// disjoint. The mapping is a pure function of the key — no process seed —
+// so placement survives restarts and is reproducible in tests. FNV-1a is
+// followed by a splitmix64 finalizer: content keys are already uniform hex
+// digests, but ring vnode labels ("url|i") are not, and the finalizer's
+// avalanche keeps their points spread.
+func KeyPoint(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // validateKey rejects keys that could escape the cache directory; keys are

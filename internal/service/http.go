@@ -13,6 +13,9 @@ import (
 //	                           served from cache at submit time)
 //	GET    /v1/jobs/{id}       poll status
 //	GET    /v1/jobs/{id}/result fetch the stored result payload verbatim
+//	GET    /v1/jobs/{id}/events live progress as server-sent events (state
+//	                           transitions + rep completions; Last-Event-ID
+//	                           resumes a dropped stream)
 //	GET    /v1/jobs/{id}/timeline fetch the Chrome trace-event timeline
 //	                           (specs submitted with "timeline": true)
 //	DELETE /v1/jobs/{id}       cancel
@@ -30,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -108,6 +112,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusAccepted, "job "+string(state))
 	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	log, ok := s.Events(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	ServeSSE(w, r, log)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

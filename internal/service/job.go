@@ -9,10 +9,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/rescache"
+	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // JobState is a job's lifecycle phase.
@@ -45,6 +48,11 @@ type Job struct {
 
 	result []byte
 	cancel context.CancelFunc
+	events *EventLog
+
+	// repsDone/repsTotal mirror the executor's OnRep progress for the
+	// status endpoint; the SSE stream carries the same numbers live.
+	repsDone, repsTotal int
 }
 
 // JobStatus is the wire form of a job's state.
@@ -54,6 +62,11 @@ type JobStatus struct {
 	SpecHash string   `json:"spec_hash"`
 	Cached   bool     `json:"cached"`
 	Error    string   `json:"error,omitempty"`
+	// RepsDone/RepsTotal report rep-level progress of a running job (0/0
+	// until the first rep completes; sub-job aware fleet clients aggregate
+	// them across shards).
+	RepsDone  int `json:"reps_done,omitempty"`
+	RepsTotal int `json:"reps_total,omitempty"`
 }
 
 // Config parameterizes a Server.
@@ -78,6 +91,10 @@ type Config struct {
 	// package default). The ring is always armed: when a rep fails, its
 	// last scheduling events are retained for GET /debug/flightrecorder.
 	FlightRing int
+	// EventKeep bounds each job's SSE event ring (0 = DefaultEventKeep).
+	// Reconnecting clients whose Last-Event-ID fell off the ring are
+	// re-synchronized with a progress snapshot instead of a replay.
+	EventKeep int
 }
 
 func (c Config) withDefaults() Config {
@@ -187,9 +204,16 @@ func (s *Server) Metrics() Snapshot {
 	return s.met.snapshot(len(s.queue), s.cache.Stats())
 }
 
-// notifyUpdate reports a job state transition to the test hook. Call with
-// the server mutex released.
+// notifyUpdate publishes a job state transition to the job's event stream
+// and the test hook. Call with the server mutex released; the stream is
+// published first so a hook-driven waiter observes the event on wake-up.
 func (s *Server) notifyUpdate(id string, state JobState) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j != nil && j.events != nil {
+		j.events.PublishState(state)
+	}
 	if s.testHookJobUpdate != nil {
 		s.testHookJobUpdate(id, state)
 	}
@@ -227,6 +251,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		Hash:    hash,
 		State:   StateQueued,
 		Created: time.Now(),
+		events:  NewEventLog(s.cfg.EventKeep),
 	}
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
@@ -283,7 +308,21 @@ func (s *Server) Status(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return JobStatus{ID: j.ID, State: j.State, SpecHash: j.Hash, Cached: j.Cached, Error: j.Err}, true
+	return JobStatus{
+		ID: j.ID, State: j.State, SpecHash: j.Hash, Cached: j.Cached, Error: j.Err,
+		RepsDone: j.repsDone, RepsTotal: j.repsTotal,
+	}, true
+}
+
+// Events returns the job's SSE event log.
+func (s *Server) Events(id string) (*EventLog, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.events, true
 }
 
 // Result returns the payload bytes of a finished job.
@@ -364,6 +403,7 @@ func (s *Server) runJob(job *Job) {
 	job.State = StateRunning
 	job.Started = time.Now()
 	job.cancel = cancel
+	job.repsTotal = job.Spec.Reps
 	s.mu.Unlock()
 	s.met.jobStarted()
 	s.notifyUpdate(job.ID, StateRunning)
@@ -414,6 +454,14 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 			_ = rec.WriteChromeJSON(&timeline)
 		},
 	}}
+	// Rep completions feed the job's SSE stream and status fields. OnRep
+	// calls are serialized and monotone, so the stream inherits both.
+	exec.OnRep = func(done, total int) {
+		s.mu.Lock()
+		job.repsDone, job.repsTotal = done, total
+		s.mu.Unlock()
+		job.events.PublishProgress(done, total)
+	}
 	if job.Spec.Cluster != nil {
 		return s.executeCluster(ctx, job, exec, &timeline)
 	}
@@ -428,19 +476,48 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 	if err := s.storeTimeline(job, &timeline); err != nil {
 		return nil, err
 	}
+	return BuildResult(job.Hash, job.Spec, times, traces)
+}
+
+// BuildResult encodes the canonical result payload of a kernel series: the
+// exact bytes the cache stores and /result serves. It is exported so the
+// fleet merger reassembles sub-job slices through the same encoder — merge
+// equality with a single-node run then holds by construction rather than by
+// convention.
+func BuildResult(hash string, spec JobSpec, times []sim.Time, traces []*trace.Trace) ([]byte, error) {
 	res := JobResult{
-		SpecHash:     job.Hash,
+		SpecHash:     hash,
 		ModelVersion: experiment.ModelVersion,
-		Spec:         job.Spec,
+		Spec:         spec,
 		TimesNs:      make([]int64, len(times)),
 		Summary:      stats.SummarizeTimes(times),
 	}
 	for i, t := range times {
 		res.TimesNs[i] = int64(t)
 	}
-	if job.Spec.Tracing {
+	if spec.Tracing {
 		res.Traces = traces
 	}
+	return json.Marshal(res)
+}
+
+// BuildClusterResult is BuildResult for cluster jobs: TimesNs carries the
+// per-rep batch completion times and the summary is computed over them in
+// milliseconds, exactly as a single-node execution encodes it.
+func BuildClusterResult(hash string, spec JobSpec, results []*cluster.Result) ([]byte, error) {
+	res := JobResult{
+		SpecHash:     hash,
+		ModelVersion: experiment.ModelVersion,
+		Spec:         spec,
+		TimesNs:      make([]int64, len(results)),
+		Cluster:      results,
+	}
+	batches := make([]float64, len(results))
+	for i, r := range results {
+		res.TimesNs[i] = r.BatchNs
+		batches[i] = float64(r.BatchNs) / 1e6
+	}
+	res.Summary = stats.Summarize(batches)
 	return json.Marshal(res)
 }
 
@@ -456,20 +533,7 @@ func (s *Server) executeCluster(ctx context.Context, job *Job, exec experiment.E
 	if err := s.storeTimeline(job, timeline); err != nil {
 		return nil, err
 	}
-	res := JobResult{
-		SpecHash:     job.Hash,
-		ModelVersion: experiment.ModelVersion,
-		Spec:         job.Spec,
-		TimesNs:      make([]int64, len(results)),
-		Cluster:      results,
-	}
-	batches := make([]float64, len(results))
-	for i, r := range results {
-		res.TimesNs[i] = r.BatchNs
-		batches[i] = float64(r.BatchNs) / 1e6
-	}
-	res.Summary = stats.Summarize(batches)
-	return json.Marshal(res)
+	return BuildClusterResult(job.Hash, job.Spec, results)
 }
 
 // storeTimeline persists a recorded timeline as a derived cache entry next

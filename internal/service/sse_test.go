@@ -1,0 +1,306 @@
+package service
+
+// SSE stream contract tests: event IDs strictly increase, progress is
+// monotone per rep index, a reconnect with Last-Event-ID resumes without
+// duplicates (and re-synchronizes via snapshot when the ID fell off the
+// bounded ring), the stream ends after the terminal event, and handlers
+// drain cleanly when the client disconnects. CI runs this file under
+// -race -count=3; every wait is a blocking read or a test-hook condition —
+// no wall-clock sleeps.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	ID   uint64
+	Type string
+	Data string
+}
+
+// sseReader incrementally parses an SSE stream.
+type sseReader struct {
+	sc   *bufio.Scanner
+	body io.Closer
+}
+
+func openSSE(t *testing.T, url, lastEventID string) *sseReader {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("events: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("events content type %q", ct)
+	}
+	return &sseReader{sc: bufio.NewScanner(resp.Body), body: resp.Body}
+}
+
+func (r *sseReader) close() { r.body.Close() }
+
+// next blocks for the next complete event; ok=false means the stream ended.
+func (r *sseReader) next(t *testing.T) (sseEvent, bool) {
+	t.Helper()
+	var ev sseEvent
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			ev.ID = id
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = line[len("data: "):]
+		case line == "":
+			return ev, true
+		}
+	}
+	return sseEvent{}, false
+}
+
+// drain reads the stream to its end, asserting IDs strictly increase from
+// after and progress counts strictly increase; returns every event.
+func (r *sseReader) drain(t *testing.T, after uint64) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	lastID := after
+	lastDone := -1
+	for {
+		ev, ok := r.next(t)
+		if !ok {
+			return evs
+		}
+		if ev.ID <= lastID {
+			t.Fatalf("event ID %d not after %d", ev.ID, lastID)
+		}
+		lastID = ev.ID
+		if ev.Type == "progress" {
+			var p struct{ Done, Total int }
+			if err := json.Unmarshal([]byte(ev.Data), &p); err != nil {
+				t.Fatalf("bad progress %q: %v", ev.Data, err)
+			}
+			if p.Done <= lastDone {
+				t.Fatalf("progress regressed: %d after %d", p.Done, lastDone)
+			}
+			lastDone = p.Done
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func lastState(evs []sseEvent) string {
+	st := ""
+	for _, ev := range evs {
+		if ev.Type == "state" {
+			var s struct{ State string }
+			if json.Unmarshal([]byte(ev.Data), &s) == nil {
+				st = s.State
+			}
+		}
+	}
+	return st
+}
+
+// TestSSEMonotonicOrdered subscribes before the job runs and asserts the
+// full stream: strictly increasing IDs, monotone per-rep progress reaching
+// reps/reps, terminal state last, stream closed by the server.
+func TestSSEMonotonicOrdered(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	st := submit(t, ts, tinySpec(101, 40), http.StatusAccepted)
+
+	r := openSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events", "")
+	defer r.close()
+	evs := r.drain(t, 0)
+	if got := lastState(evs); got != "done" {
+		t.Fatalf("stream ended with state %q, want done", got)
+	}
+	var lastProgress string
+	for _, ev := range evs {
+		if ev.Type == "progress" {
+			lastProgress = ev.Data
+		}
+	}
+	var p struct{ Done, Total int }
+	if err := json.Unmarshal([]byte(lastProgress), &p); err != nil || p.Done != 40 || p.Total != 40 {
+		t.Fatalf("final progress %q, want 40/40", lastProgress)
+	}
+}
+
+// TestSSEReconnectResume drops the stream mid-job and reconnects with
+// Last-Event-ID: no event may be replayed, progress stays monotone across
+// the break, and the resumed stream still ends in the terminal state.
+func TestSSEReconnectResume(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	st := submit(t, ts, tinySpec(103, 60), http.StatusAccepted)
+	url := ts.URL + "/v1/jobs/" + st.ID + "/events"
+
+	// Read the first couple of events, then drop the connection.
+	r := openSSE(t, url, "")
+	ev1, ok := r.next(t)
+	if !ok {
+		t.Fatal("stream ended before the first event")
+	}
+	ev2, ok := r.next(t)
+	if !ok {
+		t.Fatal("stream ended before the second event")
+	}
+	r.close()
+	if ev2.ID != ev1.ID+1 {
+		t.Fatalf("IDs not consecutive at stream head: %d then %d", ev1.ID, ev2.ID)
+	}
+
+	// Resume after the last seen ID: the replay must start above it.
+	r2 := openSSE(t, url, strconv.FormatUint(ev2.ID, 10))
+	defer r2.close()
+	evs := r2.drain(t, ev2.ID)
+	if len(evs) == 0 {
+		t.Fatal("resumed stream delivered nothing")
+	}
+	if got := lastState(evs); got != "done" {
+		t.Fatalf("resumed stream ended with state %q, want done", got)
+	}
+}
+
+// TestSSESnapshotAfterEviction reconnects with a Last-Event-ID that has
+// fallen off a tiny event ring: the stream must re-synchronize with a
+// current-progress snapshot instead of replaying stale events — IDs still
+// above the client's, progress never regressing.
+func TestSSESnapshotAfterEviction(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{EventKeep: 4})
+	st := submit(t, ts, tinySpec(107, 60), http.StatusAccepted)
+	if final := waitTerminal(t, ts, w, st.ID); final.State != StateDone {
+		t.Fatalf("job: %s", final.State)
+	}
+
+	// 60 progress events went through a 4-slot ring: ID 1 is long gone.
+	r := openSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events", "1")
+	defer r.close()
+	evs := r.drain(t, 1)
+	if len(evs) != 2 {
+		t.Fatalf("snapshot stream has %d events, want 2 (progress + state): %+v", len(evs), evs)
+	}
+	if evs[0].Type != "progress" || evs[1].Type != "state" {
+		t.Fatalf("snapshot shape: %+v", evs)
+	}
+	var p struct{ Done, Total int }
+	if err := json.Unmarshal([]byte(evs[0].Data), &p); err != nil || p.Done != 60 {
+		t.Fatalf("snapshot progress %q, want done=60", evs[0].Data)
+	}
+	if got := lastState(evs); got != "done" {
+		t.Fatalf("snapshot state %q, want done", got)
+	}
+}
+
+// TestSSETerminalAtSubscribe: subscribing to a finished job replays the ring
+// and closes immediately after the terminal event.
+func TestSSETerminalAtSubscribe(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{})
+	st := submit(t, ts, tinySpec(109, 5), http.StatusAccepted)
+	waitTerminal(t, ts, w, st.ID)
+
+	r := openSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events", "")
+	defer r.close()
+	evs := r.drain(t, 0)
+	if got := lastState(evs); got != "done" {
+		t.Fatalf("replay ended with %q, want done", got)
+	}
+}
+
+// TestSSECanceledJobEndsStream: a subscriber of a job canceled mid-run
+// receives the canceled state event and the stream ends.
+func TestSSECanceledJobEndsStream(t *testing.T) {
+	srv, ts, w := newTestServer(t, Config{JobTimeout: time.Minute})
+	st := submit(t, ts, tinySpec(113, 50000), http.StatusAccepted)
+	if got := w.await(t, st.ID, func(s JobState) bool { return s == StateRunning || s.Terminal() }); got != StateRunning {
+		t.Fatalf("job finished before the stream could watch it: %s", got)
+	}
+
+	r := openSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events", "")
+	defer r.close()
+	if _, ok := srv.Cancel(st.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	evs := r.drain(t, 0)
+	if got := lastState(evs); got != "canceled" {
+		t.Fatalf("stream ended with %q, want canceled", got)
+	}
+}
+
+// TestSSEClientDisconnectDrains: dropping the client request mid-stream must
+// unblock the handler (the request context cancels it) — under -race this
+// also shakes out unsynchronized publisher/subscriber state. The job then
+// finishes normally, proving the abandoned subscriber held nothing up.
+func TestSSEClientDisconnectDrains(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{JobTimeout: time.Minute})
+	st := submit(t, ts, tinySpec(127, 50000), http.StatusAccepted)
+	if got := w.await(t, st.ID, func(s JobState) bool { return s == StateRunning || s.Terminal() }); got != StateRunning {
+		t.Fatalf("job finished early: %s", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one event (blocking, condition-based), then sever the client.
+	sc := bufio.NewScanner(resp.Body)
+	sawData := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			sawData = true
+			break
+		}
+	}
+	if !sawData {
+		t.Fatal("no event before disconnect")
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server side must carry on unharmed: cancel the job and watch it
+	// reach a terminal state through a fresh subscriber.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+
+	r := openSSE(t, ts.URL+"/v1/jobs/"+st.ID+"/events", "")
+	defer r.close()
+	evs := r.drain(t, 0)
+	if got := lastState(evs); got != "canceled" {
+		t.Fatalf("post-disconnect stream ended with %q, want canceled", got)
+	}
+}
