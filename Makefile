@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-service bench-tables bench-quick benchdiff benchdiff-service examples clean cover test-service test-fleet fuzz-smoke serve serve-fleet
+.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-service bench-tables bench-quick benchdiff benchdiff-service examples clean cover test-service test-fleet test-analyze fuzz-smoke serve serve-fleet
 
 all: build vet test
 
@@ -40,16 +40,30 @@ test-fleet:
 	$(GO) test -race ./internal/fleet/
 	$(GO) test -race -count=3 -run 'TestSSE' ./internal/service/
 
-# Short deterministic-budget fuzz smoke of the two fuzz targets (the cache
-# key canonicalization and the trace codec round trip). `go test -fuzz`
-# accepts one target per package invocation, hence the two runs. FUZZTIME
-# is overridable; 10s each keeps CI wall clock bounded.
+# Differential bottleneck analysis (internal/analyze, the advisor it feeds,
+# and the slope-fitting helper), under the race detector: the sweep fans
+# every (source, rung, rep) cell over the executor's worker pool, so the
+# determinism suite (golden fixture at parallelism 1 vs 8, batch on/off,
+# obs attached vs not) plus the service/fleet analysis e2e must hold under
+# -race. 3x because the e2e exercises queue/cache/SSE timing windows.
+test-analyze:
+	$(GO) test -race -count=3 ./internal/analyze/ ./internal/advisor/ ./internal/stats/
+	$(GO) test -race -count=3 -run 'TestAnalysis' ./internal/service/
+	$(GO) test -race -count=3 -run 'TestFleetAnalysis' ./internal/fleet/
+
+# Short deterministic-budget fuzz smoke of the fuzz targets (cache-key
+# canonicalization, the trace codec round trip, the analysis spec hash, and
+# the analysis-artifact codec). `go test -fuzz` accepts one target per
+# package invocation, hence the separate runs. FUZZTIME is overridable;
+# 10s each keeps CI wall clock bounded.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/trace -run xxx -fuzz 'FuzzTraceCodecRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/service -run xxx -fuzz 'FuzzSpecHashCanonical$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiment -run xxx -fuzz 'FuzzBatchEqualsFresh$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet -run xxx -fuzz 'FuzzRingPlacement$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analyze -run xxx -fuzz 'FuzzAnalysisSpecHash$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analyze -run xxx -fuzz 'FuzzArtifactRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # Run the daemon locally with a throwaway cache.
 serve:

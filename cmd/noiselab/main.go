@@ -22,6 +22,9 @@
 //	shapecheck           quick run of Tables 3-5 + headline direction checks
 //	native-inject        best-effort replay of a config on THIS machine
 //	advise               benchmark all strategies and recommend one (§6)
+//	analyze              differential bottleneck analysis: sweep each noise
+//	                     source class across an intensity ladder and rank
+//	                     which resource gates the workload
 //	traces               analyze collected trace files (per-source stats)
 //	report               regenerate every table and figure into a directory
 //	timeline             export a run's full scheduling timeline (Chrome JSON)
@@ -158,6 +161,8 @@ func run() int {
 		err = cmdNativeInject(args)
 	case "advise":
 		err = cmdAdvise(args)
+	case "analyze":
+		err = cmdAnalyze(args)
 	case "traces":
 		err = cmdTraces(args)
 	case "report":
@@ -212,6 +217,9 @@ func usage() {
   noiselab cluster    [-nodes N] [-straggler I -straggler-scale F] [-policies a,b]
                       [-tenants N] [-jobs N] [-width N] [-worker-ms F] [-arrival-ms F]
                       [-reps N] [-seed N] [-o study.json]
+  noiselab analyze    -platform P -workload W -model M -strategy S [-seed N]
+                      [-reps N] [-sources a,b] [-ladder 1,2,4,8] [-timeline]
+                      [-o artifact.json] [-server URL | -fleet]
   noiselab submit     -server URL -platform P -workload W -model M -strategy S
                       [-seed N] [-reps N] [-size small] [-tracing] [-wait]
                       [-events] [-fleet]

@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/mitigate"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -58,14 +59,22 @@ func (c Character) String() string {
 	}
 }
 
-// Assessment is one strategy's measured profile.
+// Assessment is one strategy's measured profile. The CI bounds come from
+// the shared deterministic bootstrap (stats.MeanCI), so the advisor's
+// uncertainty estimates agree with the analysis artifact's.
 type Assessment struct {
 	Strategy    mitigate.Strategy
 	BaselineSec float64
-	BaselineSD  float64 // ms
-	InjectedSec float64
-	ChangePct   float64
-	Score       float64 // weighted objective, lower is better
+	// BaselineLoSec/BaselineHiSec bound BaselineSec at 95% confidence.
+	BaselineLoSec float64
+	BaselineHiSec float64
+	BaselineSD    float64 // ms
+	InjectedSec   float64
+	// InjectedLoSec/InjectedHiSec bound InjectedSec at 95% confidence.
+	InjectedLoSec float64
+	InjectedHiSec float64
+	ChangePct     float64
+	Score         float64 // weighted objective, lower is better
 }
 
 // Recommendation is the advisor's output.
@@ -145,6 +154,8 @@ func (a Advisor) RecommendContext(ctx context.Context) (*Recommendation, error) 
 			InjectedSec: i.Mean / 1000,
 			ChangePct:   stats.RelChange(b.Mean, i.Mean),
 		}
+		_, as.BaselineLoSec, as.BaselineHiSec = meanCISec(bt)
+		_, as.InjectedLoSec, as.InjectedHiSec = meanCISec(it)
 		ww := a.Objective.WorstWeight
 		as.Score = (1-ww)*as.BaselineSec + ww*as.InjectedSec
 		table = append(table, as)
@@ -164,27 +175,43 @@ func (a Advisor) RecommendContext(ctx context.Context) (*Recommendation, error) 
 	return rec, nil
 }
 
+// meanCISec is the shared bootstrap CI (stats.MeanCI) over a rep series,
+// in seconds.
+func meanCISec(ts []sim.Time) (mean, lo, hi float64) {
+	secs := make([]float64, len(ts))
+	for i, t := range ts {
+		secs[i] = float64(t) / 1e9
+	}
+	return stats.MeanCI(secs, 0.95)
+}
+
 // classify infers the workload character from the measured housekeeping
-// penalty: removing ~12.5% of cores barely slows a bandwidth-saturated
-// workload but slows a compute-bound one nearly proportionally.
+// sensitivity: it regresses baseline time against the housekeeping core
+// fraction across the roaming strategies (Rm, RmHK, RmHK2) with the shared
+// stats.LinearFit — the same regression helper the bottleneck analysis
+// uses. Losing cores barely slows a bandwidth-saturated workload (flat
+// slope) but slows a compute-bound one nearly proportionally (relative
+// slope approaching 1 per fraction of cores removed).
 func (a Advisor) classify(table []Assessment) Character {
-	var rm, rmhk *Assessment
+	var xs, ys []float64
 	for i := range table {
-		switch table[i].Strategy {
-		case mitigate.Rm:
-			rm = &table[i]
-		case mitigate.RmHK:
-			rmhk = &table[i]
+		if s := table[i].Strategy; !s.Pin && !s.SMT {
+			xs = append(xs, s.HKFrac)
+			ys = append(ys, table[i].BaselineSec)
 		}
 	}
-	if rm == nil || rmhk == nil || rm.BaselineSec == 0 {
+	fit, err := stats.LinearFit(xs, ys)
+	if err != nil || fit.Intercept <= 0 {
 		return Mixed
 	}
-	penalty := rmhk.BaselineSec/rm.BaselineSec - 1
+	// Relative slope: fractional slowdown per fraction of cores given to
+	// housekeeping. The thresholds are the old two-point rule (penalty at
+	// HKFrac 0.125 below 4% / above 9%) expressed per unit fraction.
+	rel := fit.Slope / fit.Intercept
 	switch {
-	case penalty < 0.04:
+	case rel < 0.32:
 		return MemoryBound
-	case penalty > 0.09:
+	case rel > 0.72:
 		return ComputeBound
 	default:
 		return Mixed

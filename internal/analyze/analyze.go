@@ -1,0 +1,291 @@
+// Package analyze implements differential noise injection for performance
+// bottleneck analysis: each noise source class (daemon, IRQ, softirq,
+// SMT-sibling, barrier-adjacent, bandwidth-style) is swept independently
+// across a calibrated intensity ladder while every other source stays at
+// its natural level, and the sensitivity slope of each (source, region)
+// pair is read out of a linear fit. The source whose ladder moves the
+// workload most is the bottleneck; the region whose slope dominates says
+// which part of the execution that resource gates.
+//
+// An analysis is a pure function of (spec, ModelVersion): every sweep cell
+// derives its seed from the spec seed by (source, factor) tags, runs
+// through experiment.Executor with index-derived per-rep seeds, and the
+// artifact encoder is canonical — so artifacts are content-addressable and
+// a repeated analysis is a pure cache hit, exactly like experiment jobs.
+package analyze
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/mitigate"
+	"repro/internal/noise"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// DefaultLadder is the calibrated intensity ladder used when a spec does
+// not supply its own: factor 1 anchors the natural level and the doublings
+// give the fit leverage without leaving the regime where the simulated
+// machine still makes progress.
+func DefaultLadder() []float64 { return []float64{1, 2, 4, 8} }
+
+// Spec is the wire form of one bottleneck analysis: a single-node
+// experiment cell plus the sweep dimensions. Its canonical JSON encoding
+// (after Normalize) is the content key the cache addresses artifacts by.
+type Spec struct {
+	// Platform, Workload, Size, Model, Strategy and Seed mirror the
+	// single-node job spec fields (service.JobSpec).
+	Platform string `json:"platform"`
+	Workload string `json:"workload"`
+	Size     string `json:"size,omitempty"`
+	Model    string `json:"model"`
+	Strategy string `json:"strategy"`
+	Seed     uint64 `json:"seed"`
+	// Reps is the repetition count per sweep point (>= 1).
+	Reps int `json:"reps"`
+	// Sources selects which noise source classes to sweep; nil means all
+	// of noise.SourceClasses(). An explicitly empty list is invalid.
+	Sources []string `json:"sources,omitempty"`
+	// Ladder is the intensity factor ladder; nil means DefaultLadder().
+	// Factors must be finite and positive, and after deduplication at
+	// least two must remain (a slope needs two x values). An explicitly
+	// empty ladder is invalid.
+	Ladder []float64 `json:"ladder,omitempty"`
+	// Runlevel3 disables GUI noise before the sweep scales anything.
+	Runlevel3 bool `json:"runlevel3,omitempty"`
+	// Timeline attaches per-source timeline evidence: the rep-0 scheduling
+	// timeline of each source's highest ladder point, referenced from the
+	// artifact. The analysis always records timelines internally for the
+	// region breakdown; this flag only controls whether the evidence is
+	// exported, and it participates in the content key.
+	Timeline bool `json:"timeline,omitempty"`
+}
+
+// Normalize rewrites representation-only variation to canonical form so
+// semantically equal specs hash equal: field spellings (as in
+// service.JobSpec), source order and duplicates, ladder order and
+// duplicates, and the explicit spellings of the defaults (all sources, the
+// default ladder) collapse to the nil shorthand. It does not validate.
+func (s *Spec) Normalize() {
+	s.Platform = strings.TrimSpace(s.Platform)
+	s.Workload = strings.TrimSpace(s.Workload)
+	s.Model = strings.ToLower(strings.TrimSpace(s.Model))
+	if st, err := mitigate.Parse(strings.TrimSpace(s.Strategy)); err == nil {
+		s.Strategy = st.Name()
+	}
+	if s.Size == "default" {
+		s.Size = ""
+	}
+	if len(s.Sources) > 0 {
+		srcs := append([]string(nil), s.Sources...)
+		for i := range srcs {
+			srcs[i] = strings.ToLower(strings.TrimSpace(srcs[i]))
+		}
+		sort.Strings(srcs)
+		srcs = dedupeStrings(srcs)
+		if equalStrings(srcs, noise.SourceClasses()) {
+			srcs = nil
+		}
+		s.Sources = srcs
+	}
+	if len(s.Ladder) > 0 {
+		lad := append([]float64(nil), s.Ladder...)
+		sort.Float64s(lad)
+		lad = dedupeFloats(lad)
+		if equalFloats(lad, DefaultLadder()) {
+			lad = nil
+		}
+		s.Ladder = lad
+	}
+}
+
+func dedupeStrings(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupeFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the spec. maxReps bounds the per-point repetition count
+// (<= 0 means unbounded); the total rep budget is TotalReps(), which
+// servers may bound separately. Errors surface as 400s from the daemon.
+func (s *Spec) Validate(maxReps int) error {
+	if _, err := platform.New(s.Platform); err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	if _, err := workloads.ByName(s.Workload, "small"); err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	switch s.Size {
+	case "", "small":
+	default:
+		return fmt.Errorf("analyze: unknown size %q (want \"\", \"default\" or \"small\")", s.Size)
+	}
+	switch s.Model {
+	case "omp", "sycl":
+	default:
+		return fmt.Errorf("analyze: unknown model %q (want omp or sycl)", s.Model)
+	}
+	if _, err := mitigate.Parse(s.Strategy); err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	if s.Reps < 1 {
+		return fmt.Errorf("analyze: reps %d must be >= 1", s.Reps)
+	}
+	if maxReps > 0 && s.Reps > maxReps {
+		return fmt.Errorf("analyze: reps %d exceeds the server limit %d", s.Reps, maxReps)
+	}
+	if s.Sources != nil && len(s.Sources) == 0 {
+		return fmt.Errorf("analyze: sources list is empty (omit it to sweep every class)")
+	}
+	for _, src := range s.Sources {
+		if !noise.IsSourceClass(src) {
+			return fmt.Errorf("analyze: unknown source class %q (want one of %s)",
+				src, strings.Join(noise.SourceClasses(), ", "))
+		}
+	}
+	if s.Ladder != nil && len(s.Ladder) == 0 {
+		return fmt.Errorf("analyze: ladder is empty (omit it for the default %v)", DefaultLadder())
+	}
+	for _, f := range s.Ladder {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			return fmt.Errorf("analyze: ladder factor %g must be finite and > 0", f)
+		}
+	}
+	if lad := s.EffectiveLadder(); len(lad) < 2 {
+		return fmt.Errorf("analyze: ladder needs >= 2 distinct factors to fit a slope, got %v", lad)
+	}
+	return nil
+}
+
+// EffectiveSources returns the source classes the sweep runs: the spec's
+// own (already sorted by Normalize) or every class.
+func (s *Spec) EffectiveSources() []string {
+	if len(s.Sources) > 0 {
+		return s.Sources
+	}
+	return noise.SourceClasses()
+}
+
+// EffectiveLadder returns the intensity ladder: the spec's own (sorted
+// ascending by Normalize) or the default.
+func (s *Spec) EffectiveLadder() []float64 {
+	if len(s.Ladder) > 0 {
+		return s.Ladder
+	}
+	return DefaultLadder()
+}
+
+// TotalReps is the total simulated-rep budget of the analysis:
+// sources x ladder points x reps per point. Progress reporting and server
+// rep limits are expressed against it.
+func (s *Spec) TotalReps() int {
+	return len(s.EffectiveSources()) * len(s.EffectiveLadder()) * s.Reps
+}
+
+// Resolve converts the wire spec into the base experiment.Spec each sweep
+// cell specializes with its (source, factor, seed).
+func (s *Spec) Resolve() (experiment.Spec, error) {
+	p, err := platform.New(s.Platform)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	var w workloads.Workload
+	if s.Size == "small" {
+		w, err = p.TinySpec(s.Workload)
+	} else {
+		w, err = p.WorkloadSpec(s.Workload)
+	}
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	strat, err := mitigate.Parse(s.Strategy)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	return experiment.Spec{
+		Platform: p, Workload: w, Model: s.Model, Strategy: strat,
+		Seed: s.Seed, Runlevel3: s.Runlevel3,
+	}, nil
+}
+
+// CellSeed derives the base seed of one sweep cell from the analysis seed
+// and the cell's (source, factor) tags. It depends on nothing else — not
+// the source list, not the ladder shape — so the same cell produces
+// byte-identical per-rep results whether it runs in a full sweep, a
+// single-source sweep, or on a fleet shard that received only a slice of
+// the sources.
+func CellSeed(base uint64, source string, factor float64) uint64 {
+	return experiment.SeedFor(base, "analyze", source, FormatFactor(factor))
+}
+
+// FormatFactor renders a ladder factor canonically (shortest exact
+// representation), for seed tags, artifact labels and file names.
+func FormatFactor(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// SpecHash returns the content address of an analysis: the hex SHA-256 of
+// its canonical JSON encoding salted with experiment.ModelVersion and an
+// "analysis" domain tag, so an analysis spec can never collide with an
+// experiment job spec that happens to share an encoding. The spec is
+// normalized in place.
+func SpecHash(s *Spec) (string, error) {
+	s.Normalize()
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("analyze: hashing spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(experiment.ModelVersion))
+	h.Write([]byte{0})
+	h.Write([]byte("analysis"))
+	h.Write([]byte{0})
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

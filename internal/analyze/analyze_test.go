@@ -1,0 +1,159 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Platform: "tiny-test", Workload: "nbody", Size: "small",
+		Model: "omp", Strategy: "Rm", Seed: 42, Reps: 3,
+	}
+}
+
+func TestNormalizeCanonicalizesRepresentation(t *testing.T) {
+	a := validSpec()
+	b := validSpec()
+	b.Model = " OMP "
+	b.Strategy = " Rm "
+	b.Sources = []string{"irq", "daemon", "irq"}
+	b.Ladder = []float64{4, 1, 2, 4}
+	a.Sources = []string{"daemon", "irq"}
+	a.Ladder = []float64{1, 2, 4}
+	ha, err := SpecHash(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := SpecHash(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("representation variants hash differently:\n%s\n%s", ha, hb)
+	}
+}
+
+func TestNormalizeCollapsesDefaults(t *testing.T) {
+	a := validSpec()
+	b := validSpec()
+	b.Sources = append([]string(nil), noise.SourceClasses()...)
+	b.Ladder = DefaultLadder()
+	ha, _ := SpecHash(&a)
+	hb, _ := SpecHash(&b)
+	if ha != hb {
+		t.Fatal("explicit defaults should hash like the nil shorthand")
+	}
+	if b.Sources != nil || b.Ladder != nil {
+		t.Fatalf("Normalize did not collapse defaults: %v %v", b.Sources, b.Ladder)
+	}
+}
+
+func TestSpecHashSensitivity(t *testing.T) {
+	base := validSpec()
+	h0, err := SpecHash(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Spec){
+		"seed":      func(s *Spec) { s.Seed++ },
+		"reps":      func(s *Spec) { s.Reps++ },
+		"workload":  func(s *Spec) { s.Workload = "minife" },
+		"model":     func(s *Spec) { s.Model = "sycl" },
+		"sources":   func(s *Spec) { s.Sources = []string{"irq"} },
+		"ladder":    func(s *Spec) { s.Ladder = []float64{1, 3} },
+		"runlevel3": func(s *Spec) { s.Runlevel3 = true },
+		"timeline":  func(s *Spec) { s.Timeline = true },
+	}
+	for name, mut := range mutations {
+		s := validSpec()
+		mut(&s)
+		h, err := SpecHash(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h0 {
+			t.Fatalf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"unknown source":   func(s *Spec) { s.Sources = []string{"gpu"} },
+		"empty sources":    func(s *Spec) { s.Sources = []string{} },
+		"empty ladder":     func(s *Spec) { s.Ladder = []float64{} },
+		"single factor":    func(s *Spec) { s.Ladder = []float64{2} },
+		"collapsed ladder": func(s *Spec) { s.Ladder = []float64{2, 2, 2} },
+		"negative factor":  func(s *Spec) { s.Ladder = []float64{-1, 2} },
+		"zero reps":        func(s *Spec) { s.Reps = 0 },
+		"bad platform":     func(s *Spec) { s.Platform = "cray-1" },
+		"bad model":        func(s *Spec) { s.Model = "cuda" },
+		"bad size":         func(s *Spec) { s.Size = "xl" },
+	}
+	for name, mut := range cases {
+		s := validSpec()
+		mut(&s)
+		s.Normalize()
+		if err := s.Validate(0); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	s := validSpec()
+	s.Normalize()
+	if err := s.Validate(0); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := s.Validate(2); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("maxReps bound not enforced: %v", err)
+	}
+}
+
+func TestCellSeedIndependentOfSweepShape(t *testing.T) {
+	// The cell seed depends only on (base, source, factor) — the property
+	// that lets a fleet shard running a slice of the sources reproduce the
+	// full sweep's cells byte-identically.
+	a := CellSeed(42, "irq", 4)
+	b := CellSeed(42, "irq", 4)
+	if a != b {
+		t.Fatal("CellSeed not deterministic")
+	}
+	if CellSeed(42, "irq", 2) == a || CellSeed(42, "daemon", 4) == a || CellSeed(43, "irq", 4) == a {
+		t.Fatal("CellSeed insensitive to its inputs")
+	}
+}
+
+func TestTotalReps(t *testing.T) {
+	s := validSpec() // defaults: 6 sources x 4 factors x 3 reps
+	if got := s.TotalReps(); got != 6*4*3 {
+		t.Fatalf("TotalReps = %d, want %d", got, 6*4*3)
+	}
+	s.Sources = []string{"irq"}
+	s.Ladder = []float64{1, 8}
+	if got := s.TotalReps(); got != 1*2*3 {
+		t.Fatalf("TotalReps = %d, want %d", got, 6)
+	}
+}
+
+func TestFormatFactor(t *testing.T) {
+	for f, want := range map[float64]string{1: "1", 2.5: "2.5", 0.125: "0.125"} {
+		if got := FormatFactor(f); got != want {
+			t.Fatalf("FormatFactor(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestRegionCategoryMapping(t *testing.T) {
+	want := map[string]string{
+		"workload": "compute", "barrier": "barrier", "irq_noise": "irq",
+		"softirq_noise": "softirq", "os": "os", "noise": "noise",
+		"injector": "noise", "thread_noise": "noise", "sched": "", "": "",
+	}
+	for cat, region := range want {
+		if got := regionCategory(cat); got != region {
+			t.Fatalf("regionCategory(%q) = %q, want %q", cat, got, region)
+		}
+	}
+}

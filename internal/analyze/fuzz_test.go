@@ -1,0 +1,227 @@
+package analyze
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzAnalysisSpecHash fuzzes the analysis content key, mirroring
+// FuzzSpecHashCanonical for experiment jobs: semantically equal specs must
+// hash equal (spelling, source order/duplicates, ladder order/duplicates,
+// explicit defaults), and changing any semantic field must move the key —
+// a collision would silently serve one analysis's artifact for another.
+func FuzzAnalysisSpecHash(f *testing.F) {
+	f.Add("tiny-test", "nbody", uint8(0), uint8(0), uint64(1), 3, uint8(0), uint8(0), false, false, "small")
+	f.Add("intel-9700kf", "babelstream", uint8(1), uint8(3), uint64(99), 10, uint8(3), uint8(1), true, true, "")
+	f.Add("amd-9950x3d", "minife", uint8(0), uint8(5), uint64(7), 1, uint8(63), uint8(2), false, true, "default")
+	f.Fuzz(func(t *testing.T, platform, workload string, modelSel, stratSel uint8,
+		seed uint64, reps int, srcMask, ladderSel uint8, runlevel3, timeline bool, size string) {
+		models := []string{"omp", "sycl"}
+		strategies := []string{"Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"}
+		allSources := []string{"bandwidth", "barrier", "daemon", "irq", "smt", "softirq"}
+		var sources []string
+		for i, src := range allSources {
+			if srcMask&(1<<i) != 0 {
+				sources = append(sources, src)
+			}
+		}
+		ladders := [][]float64{nil, {1, 2}, {0.5, 1, 2, 4}, {1, 8}}
+		spec := Spec{
+			Platform: platform, Workload: workload,
+			Model:    models[int(modelSel)%len(models)],
+			Strategy: strategies[int(stratSel)%len(strategies)],
+			Seed:     seed, Reps: reps, Size: size,
+			Sources: sources, Ladder: ladders[int(ladderSel)%len(ladders)],
+			Runlevel3: runlevel3, Timeline: timeline,
+		}
+		spec.Normalize()
+		if spec.Validate(0) != nil {
+			t.Skip()
+		}
+		h0, err := SpecHash(&spec)
+		if err != nil {
+			t.Fatalf("hashing valid spec: %v", err)
+		}
+
+		// Determinism: hashing a copy yields the same key.
+		clone := spec
+		clone.Sources = append([]string(nil), spec.Sources...)
+		clone.Ladder = append([]float64(nil), spec.Ladder...)
+		if h, _ := SpecHash(&clone); h != h0 {
+			t.Fatalf("clone hash differs: %s vs %s", h, h0)
+		}
+
+		// Representation variants collapse to the same key.
+		variants := []func(*Spec){
+			func(s *Spec) { s.Platform = "  " + s.Platform + "\t" },
+			func(s *Spec) { s.Model = strings.ToUpper(s.Model) },
+			func(s *Spec) {
+				if s.Size == "" {
+					s.Size = "default"
+				}
+			},
+			func(s *Spec) { // reverse the source list; duplicate one entry
+				if len(s.Sources) > 0 {
+					rev := make([]string, 0, len(s.Sources)+1)
+					for i := len(s.Sources) - 1; i >= 0; i-- {
+						rev = append(rev, s.Sources[i])
+					}
+					rev = append(rev, s.Sources[0])
+					s.Sources = rev
+				}
+			},
+			func(s *Spec) { // reverse the ladder; duplicate one rung
+				if len(s.Ladder) > 0 {
+					rev := make([]float64, 0, len(s.Ladder)+1)
+					for i := len(s.Ladder) - 1; i >= 0; i-- {
+						rev = append(rev, s.Ladder[i])
+					}
+					rev = append(rev, s.Ladder[0])
+					s.Ladder = rev
+				}
+			},
+			func(s *Spec) { // spell out the defaults explicitly
+				if s.Sources == nil {
+					s.Sources = append([]string(nil), allSources...)
+				}
+				if s.Ladder == nil {
+					s.Ladder = DefaultLadder()
+				}
+			},
+		}
+		for i, vary := range variants {
+			v := clone
+			v.Sources = append([]string(nil), clone.Sources...)
+			v.Ladder = append([]float64(nil), clone.Ladder...)
+			vary(&v)
+			if h, err := SpecHash(&v); err != nil || h != h0 {
+				t.Fatalf("variant %d: hash %s err %v, want %s", i, h, err, h0)
+			}
+		}
+
+		// Semantic mutations must move the key.
+		mutations := []func(*Spec){
+			func(s *Spec) { s.Seed++ },
+			func(s *Spec) { s.Reps++ },
+			func(s *Spec) { s.Runlevel3 = !s.Runlevel3 },
+			func(s *Spec) { s.Timeline = !s.Timeline },
+			func(s *Spec) {
+				if s.Model == "omp" {
+					s.Model = "sycl"
+				} else {
+					s.Model = "omp"
+				}
+			},
+			func(s *Spec) {
+				if len(s.EffectiveSources()) > 1 {
+					s.Sources = s.EffectiveSources()[:1]
+				} else {
+					s.Sources = nil
+				}
+			},
+			func(s *Spec) { s.Ladder = []float64{1, 3, 9} },
+		}
+		for i, mut := range mutations {
+			m := clone
+			m.Sources = append([]string(nil), clone.Sources...)
+			m.Ladder = append([]float64(nil), clone.Ladder...)
+			mut(&m)
+			m.Normalize()
+			if m.Validate(0) != nil {
+				continue // a mutation may leave the valid domain; only valid specs must differ
+			}
+			if h, err := SpecHash(&m); err != nil || h == h0 {
+				t.Fatalf("mutation %d: key did not move (err %v)", i, err)
+			}
+		}
+	})
+}
+
+// FuzzArtifactRoundTrip fuzzes the manifest codec: any artifact assembled
+// from structurally valid curves must survive Encode -> Decode -> Encode
+// byte-identically — the property the fleet merger leans on when it
+// decodes shard artifacts and re-encodes the merged one.
+func FuzzArtifactRoundTrip(f *testing.F) {
+	f.Add(uint64(42), 3, uint8(1), uint8(1), 1.5, 0.25, true)
+	f.Add(uint64(7), 1, uint8(5), uint8(2), -2.0, 100.5, false)
+	f.Add(uint64(0), 10, uint8(63), uint8(3), 0.0, 0.0, true)
+	f.Fuzz(func(t *testing.T, seed uint64, reps int, srcMask, ladderSel uint8,
+		slope, meanBase float64, timeline bool) {
+		if math.IsNaN(slope) || math.IsInf(slope, 0) || math.IsNaN(meanBase) || math.IsInf(meanBase, 0) {
+			t.Skip() // JSON cannot carry non-finite numbers; real fits reject them upstream
+		}
+		allSources := []string{"bandwidth", "barrier", "daemon", "irq", "smt", "softirq"}
+		var sources []string
+		for i, src := range allSources {
+			if srcMask&(1<<i) != 0 {
+				sources = append(sources, src)
+			}
+		}
+		ladders := [][]float64{nil, {1, 2}, {0.5, 1, 2, 4}, {1, 8}}
+		spec := Spec{
+			Platform: "tiny-test", Workload: "nbody", Size: "small",
+			Model: "omp", Strategy: "Rm", Seed: seed, Reps: reps,
+			Sources: sources, Ladder: ladders[int(ladderSel)%len(ladders)],
+			Timeline: timeline,
+		}
+		spec.Normalize()
+		if spec.Validate(0) != nil {
+			t.Skip()
+		}
+		hash, err := SpecHash(&spec)
+		if err != nil {
+			t.Skip()
+		}
+		// Build synthetic but structurally valid curves: points in ladder
+		// order with fabricated measurements derived from the fuzz inputs.
+		ladder := spec.EffectiveLadder()
+		var curves []SourceCurve
+		for si, src := range spec.EffectiveSources() {
+			c := SourceCurve{Source: src}
+			for _, fac := range ladder {
+				mean := meanBase + slope*fac + float64(si)
+				c.Points = append(c.Points, SweepPoint{
+					Factor: fac, Seed: CellSeed(seed, src, fac),
+					TimesNs: []int64{int64(mean * 1e6)},
+					MeanMs:  mean, MeanLoMs: mean - 1, MeanHiMs: mean + 1,
+					RegionsMs:      map[string]float64{"compute": mean, "barrier": fac},
+					TimelineEvents: 3,
+				})
+			}
+			c.Fit.N = len(ladder)
+			c.Fit.Slope, c.Fit.Intercept = slope, meanBase
+			c.GatedRegion = "compute"
+			curves = append(curves, c)
+		}
+		art, err := Assemble(hash, "fuzz-model", spec, curves)
+		if err != nil {
+			t.Fatalf("assembling valid curves: %v", err)
+		}
+		enc, err := art.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		enc2, err := back.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("round trip not byte-identical:\n%s\n%s", enc, enc2)
+		}
+		if !reflect.DeepEqual(art, back) {
+			t.Fatal("round trip lost structure")
+		}
+		// The encoding must be valid canonical JSON (no NaN/Inf leak).
+		var raw map[string]any
+		if err := json.Unmarshal(enc, &raw); err != nil {
+			t.Fatalf("artifact is not valid JSON: %v", err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package analyze
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Outcome is a completed analysis: the artifact plus the exported timeline
+// evidence (source name -> Chrome trace-event JSON; empty unless
+// Spec.Timeline).
+type Outcome struct {
+	Artifact *Artifact
+	// Timelines maps each source to its evidence bytes, keyed by the
+	// artifact's TimelineRef.Source (files named TimelineRef.File).
+	Timelines map[string][]byte
+}
+
+// Run executes the full sweep: for every (source, factor) cell it runs a
+// Reps-long series through the executor — batched-world eligible, reps
+// parallel within a cell, per-rep seeds via SeedAt — fits the sensitivity
+// slopes, and assembles the artifact.
+//
+// Executor handling: OnRep is re-based to aggregate progress across all
+// cells (done out of Spec.TotalReps()); Obs.Ring/Reg/FlightSink/OnFlight
+// are honored per rep, but the timeline recording of rep 0 is always
+// forced on internally — the region breakdown needs it — so attaching or
+// detaching caller observability never changes the artifact bytes.
+// Timeline evidence export is controlled by spec.Timeline alone.
+func Run(ctx context.Context, exec experiment.Executor, spec Spec) (*Outcome, error) {
+	hash, err := SpecHash(&spec) // normalizes in place
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(0); err != nil {
+		return nil, err
+	}
+	base, err := spec.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	sources := spec.EffectiveSources()
+	ladder := spec.EffectiveLadder()
+	if exec.Worlds == nil {
+		// One pool for the whole sweep: every cell shares the same
+		// (topology, options) world key, so warm worlds carry across cells.
+		exec.Worlds = experiment.NewWorldPool()
+	}
+	totalReps := spec.TotalReps()
+	repsDone := 0
+	callerOnRep := exec.OnRep
+
+	curves := make([]SourceCurve, 0, len(sources))
+	var timelines map[string][]byte
+	if spec.Timeline {
+		timelines = make(map[string][]byte, len(sources))
+	}
+	for _, src := range sources {
+		points := make([]SweepPoint, 0, len(ladder))
+		var evidence *obs.Recorder
+		for _, f := range ladder {
+			cell := base
+			cell.NoiseSource, cell.SourceScale = src, f
+			cell.Seed = CellSeed(spec.Seed, src, f)
+
+			var rec0 *obs.Recorder
+			e := exec
+			done0 := repsDone
+			if callerOnRep != nil {
+				e.OnRep = func(done, total int) { callerOnRep(done0+done, totalReps) }
+			}
+			o := experiment.ObsOptions{Timeline: true, OnTimeline: func(r *obs.Recorder) { rec0 = r }}
+			if exec.Obs != nil {
+				o.Ring = exec.Obs.Ring
+				o.Reg = exec.Obs.Reg
+				o.FlightSink = exec.Obs.FlightSink
+				o.OnFlight = exec.Obs.OnFlight
+			}
+			e.Obs = &o
+
+			times, _, err := e.Series(ctx, cell, spec.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("analyze: %s x%s: %w", src, FormatFactor(f), err)
+			}
+			repsDone += spec.Reps
+			points = append(points, buildPoint(f, cell.Seed, times, rec0))
+			evidence = rec0 // ladder is ascending: the last one is the top point
+		}
+		curve, err := fitCurve(src, ladder, points)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, curve)
+		if spec.Timeline && evidence != nil {
+			var buf bytes.Buffer
+			if err := evidence.WriteChromeJSON(&buf); err != nil {
+				return nil, fmt.Errorf("analyze: %s timeline: %w", src, err)
+			}
+			timelines[src] = buf.Bytes()
+		}
+	}
+	art, err := Assemble(hash, experiment.ModelVersion, spec, curves)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Artifact: art, Timelines: timelines}, nil
+}
+
+// buildPoint folds one cell's series into a sweep point.
+func buildPoint(factor float64, seed uint64, times []sim.Time, rec *obs.Recorder) SweepPoint {
+	p := SweepPoint{Factor: factor, Seed: seed, TimesNs: make([]int64, len(times))}
+	ms := make([]float64, len(times))
+	for i, t := range times {
+		p.TimesNs[i] = int64(t)
+		ms[i] = float64(t) / 1e6
+	}
+	p.MeanMs, p.MeanLoMs, p.MeanHiMs = stats.MeanCI(ms, 0.95)
+	if rec != nil {
+		p.RegionsMs = regionBreakdown(rec.Events())
+		p.TimelineEvents = len(rec.Events())
+	}
+	return p
+}
+
+// regionCategory maps a timeline span category to an analysis region:
+// workload compute, barrier waits, hard/soft interrupt handlers, OS
+// housekeeping, and noise threads (natural noise + injected replay).
+// Scheduler-internal instants and unknown categories fall outside every
+// region.
+func regionCategory(cat string) string {
+	switch cat {
+	case "workload":
+		return "compute"
+	case "barrier":
+		return "barrier"
+	case "irq_noise":
+		return "irq"
+	case "softirq_noise":
+		return "softirq"
+	case "os":
+		return "os"
+	case "noise", "injector", "thread_noise":
+		return "noise"
+	}
+	return ""
+}
+
+// regionBreakdown sums span durations (ms) by region over one rep's
+// timeline.
+func regionBreakdown(events []obs.Event) map[string]float64 {
+	out := make(map[string]float64)
+	for _, ev := range events {
+		if ev.Dur <= 0 {
+			continue
+		}
+		r := regionCategory(ev.Cat)
+		if r == "" {
+			continue
+		}
+		out[r] += float64(ev.Dur) / 1e6
+	}
+	return out
+}
+
+// fitCurve fits the source's overall sensitivity (mean time vs factor) and
+// each region's, and names the gated region (steepest positive region
+// slope, region name breaking ties).
+func fitCurve(source string, ladder []float64, points []SweepPoint) (SourceCurve, error) {
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		ys[i] = p.MeanMs
+	}
+	fit, err := stats.LinearFit(ladder, ys)
+	if err != nil {
+		return SourceCurve{}, fmt.Errorf("analyze: fitting %s: %w", source, err)
+	}
+	c := SourceCurve{Source: source, Points: points, Fit: fit}
+
+	regions := map[string]bool{}
+	for _, p := range points {
+		for r := range p.RegionsMs {
+			regions[r] = true
+		}
+	}
+	names := make([]string, 0, len(regions))
+	for r := range regions {
+		names = append(names, r)
+	}
+	// Insertion sort keeps the import list short; region sets are tiny.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	best, bestSlope := "", 0.0
+	for _, r := range names {
+		rys := make([]float64, len(points))
+		for i, p := range points {
+			rys[i] = p.RegionsMs[r] // missing -> 0
+		}
+		rfit, err := stats.LinearFit(ladder, rys)
+		if err != nil {
+			return SourceCurve{}, fmt.Errorf("analyze: fitting %s/%s: %w", source, r, err)
+		}
+		c.RegionFits = append(c.RegionFits, RegionFit{Region: r, Fit: rfit})
+		if rfit.Slope > bestSlope {
+			best, bestSlope = r, rfit.Slope
+		}
+	}
+	c.GatedRegion = best
+	return c, nil
+}

@@ -214,6 +214,9 @@ func (w *world) body(spec Spec, plan *mitigate.Plan) (Result, error) {
 	if spec.NoiseScale > 0 && spec.NoiseScale != 1.0 {
 		prof = prof.Scale(spec.NoiseScale)
 	}
+	if spec.NoiseSource != "" {
+		prof = prof.ScaleSource(spec.NoiseSource, spec.SourceScale)
+	}
 	rng := sim.NewRNG(spec.Seed)
 	gen := noise.Attach(sched, prof, rng.Stream("noise"), noiseHorizon)
 

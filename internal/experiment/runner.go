@@ -50,6 +50,15 @@ type Spec struct {
 	PinInjectors bool
 	// NoiseScale multiplies the natural noise intensity; 0 means 1.0.
 	NoiseScale float64
+	// NoiseSource, when non-empty, names one noise source class (see
+	// noise.SourceClasses) to scale by SourceScale while every other
+	// source stays at its natural intensity — the differential probe the
+	// bottleneck analysis sweeps. Applied after NoiseScale/Runlevel3.
+	NoiseSource string
+	// SourceScale is the intensity factor for NoiseSource; ignored when
+	// NoiseSource is empty. A factor of 1 leaves natural sources untouched
+	// (the bandwidth class still seeds its synthetic hog at base rate).
+	SourceScale float64
 	// Runlevel3 disables GUI noise, as in the paper's re-runs.
 	Runlevel3 bool
 	// OMP / SYCL override the runtime model configs (nil = defaults).

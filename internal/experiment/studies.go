@@ -39,6 +39,14 @@ func (r RepCounts) Scale(f float64) RepCounts {
 	return RepCounts{Collect: s(r.Collect), Baseline: s(r.Baseline), Inject: s(r.Inject)}
 }
 
+// SeedFor derives a deterministic sub-seed for a named phase: the FNV-style
+// tag fold every study uses, exported so out-of-package sweeps (the
+// bottleneck analysis) derive per-cell seeds on the same schedule the
+// studies do.
+func SeedFor(base uint64, tags ...string) uint64 {
+	return seedFor(base, tags...)
+}
+
 // seedFor derives a deterministic sub-seed for a named study phase.
 func seedFor(base uint64, tags ...string) uint64 {
 	h := base ^ 0x9e3779b97f4a7c15

@@ -94,6 +94,12 @@ func (b *Backend) Timeline(ctx context.Context, id string) ([]byte, error) {
 	return b.fetch(ctx, "/v1/jobs/"+id+"/timeline")
 }
 
+// AnalysisTimeline fetches one source's evidence timeline of a done
+// analysis job.
+func (b *Backend) AnalysisTimeline(ctx context.Context, id, source string) ([]byte, error) {
+	return b.fetch(ctx, "/v1/analyses/"+id+"/timeline/"+source)
+}
+
 func (b *Backend) fetch(ctx context.Context, path string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.Name+path, nil)
 	if err != nil {

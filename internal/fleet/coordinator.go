@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/rescache"
 	"repro/internal/service"
 )
@@ -176,10 +177,10 @@ func (c *Coordinator) Submit(spec service.JobSpec) (Status, error) {
 		events:    service.NewEventLog(c.cfg.EventKeep),
 		subs:      make([]SubStatus, len(subs)),
 		subDone:   make([]int, len(subs)),
-		repsTotal: spec.Reps,
+		repsTotal: spec.TotalReps(),
 	}
 	for i, sub := range subs {
-		job.subs[i] = SubStatus{Offset: sub.Offset, Reps: sub.Spec.Reps, Hash: sub.Hash}
+		job.subs[i] = SubStatus{Offset: sub.Offset, Reps: sub.Spec.TotalReps(), Hash: sub.Hash}
 	}
 	c.jobs[job.id] = job
 	c.mu.Unlock()
@@ -192,7 +193,7 @@ func (c *Coordinator) Submit(spec service.JobSpec) (Status, error) {
 		job.state = service.StateDone
 		job.cached = true
 		job.result = data
-		job.repsDone = spec.Reps
+		job.repsDone = spec.TotalReps()
 		c.mu.Unlock()
 		c.met.mergedHits.Inc()
 		c.met.jobFinished("done", 0)
@@ -261,6 +262,9 @@ func (c *Coordinator) runJob(ctx context.Context, job *fleetJob, subs []SubJob) 
 			err = c.cache.Put(rescache.DerivedKey(job.hash, "tl"), tl)
 		}
 	}
+	if err == nil && job.spec.Analyze != nil && job.spec.Analyze.Timeline {
+		err = c.mirrorAnalysisTimelines(ctx, job, subs, data)
+	}
 
 	c.mu.Lock()
 	var state service.JobState
@@ -268,7 +272,7 @@ func (c *Coordinator) runJob(ctx context.Context, job *fleetJob, subs []SubJob) 
 	case err == nil:
 		job.state = service.StateDone
 		job.result = data
-		job.repsDone = job.spec.Reps
+		job.repsDone = job.spec.TotalReps()
 	case errors.Is(err, context.Canceled):
 		job.state = service.StateCanceled
 		job.err = "canceled"
@@ -367,7 +371,7 @@ func (c *Coordinator) runSubOn(ctx context.Context, job *fleetJob, idx int, sub 
 	if final.Cached {
 		c.met.subCacheHits.Inc()
 	}
-	c.subProgress(job, idx, sub.Spec.Reps)
+	c.subProgress(job, idx, sub.Spec.TotalReps())
 	c.updateSub(job, idx, func(s *SubStatus) {
 		s.State, s.Cached = service.StateDone, final.Cached
 	})
@@ -390,6 +394,62 @@ func (c *Coordinator) fetchSubTimeline(ctx context.Context, job *fleetJob, idx i
 		return nil
 	}
 	return tl
+}
+
+// mirrorAnalysisTimelines pulls each source's evidence timeline from the
+// shard that ran it and mirrors the bytes into the coordinator cache under
+// the same derived keys noiselabd uses ("tl-<source>", plus the bottleneck
+// source's copy under "tl"), so the coordinator's timeline endpoints serve
+// exactly what a single daemon would. Fetches are best-effort — the merged
+// artifact is already complete — but a failed cache write still fails the
+// job, matching the single-node rule.
+func (c *Coordinator) mirrorAnalysisTimelines(ctx context.Context, job *fleetJob, subs []SubJob, merged []byte) error {
+	art, err := analyze.Decode(merged)
+	if err != nil {
+		return fmt.Errorf("fleet: decoding merged analysis artifact: %w", err)
+	}
+	for i, sub := range subs {
+		c.mu.Lock()
+		node, id := job.subs[i].Node, job.subs[i].JobID
+		c.mu.Unlock()
+		b, ok := c.backends[node]
+		if !ok || id == "" {
+			continue
+		}
+		for _, src := range sub.Spec.Analyze.EffectiveSources() {
+			tl, err := b.AnalysisTimeline(ctx, id, src)
+			if err != nil || len(tl) == 0 {
+				continue
+			}
+			if err := c.cache.Put(rescache.DerivedKey(job.hash, "tl-"+src), tl); err != nil {
+				return fmt.Errorf("fleet: storing %s timeline: %w", src, err)
+			}
+			if src == art.Bottleneck {
+				if err := c.cache.Put(rescache.DerivedKey(job.hash, "tl"), tl); err != nil {
+					return fmt.Errorf("fleet: storing timeline: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AnalysisTimeline returns one mirrored evidence timeline of a done fleet
+// analysis job.
+func (c *Coordinator) AnalysisTimeline(id, source string) (data []byte, state service.JobState, found bool) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, "", false
+	}
+	state, hash := j.state, j.hash
+	c.mu.Unlock()
+	if state != service.StateDone {
+		return nil, state, true
+	}
+	data, _ = c.cache.Get(rescache.DerivedKey(hash, "tl-"+source))
+	return data, state, true
 }
 
 // candidates returns the failover walk for a placement key with known-down

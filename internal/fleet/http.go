@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/analyze"
 	"repro/internal/service"
 )
 
@@ -18,6 +19,15 @@ import (
 //	GET    /v1/jobs/{id}/events aggregated live progress as SSE
 //	GET    /v1/jobs/{id}/timeline fetch the offset-0 slice's timeline
 //	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/analyses         submit a bare analysis spec; the per-source
+//	                            sweeps fan out across the ring and the merged
+//	                            artifact is byte-identical to a single node's
+//	GET    /v1/analyses/{id}           poll status (alias of the job route)
+//	GET    /v1/analyses/{id}/result    fetch the merged analysis artifact
+//	GET    /v1/analyses/{id}/events    aggregated live progress as SSE
+//	GET    /v1/analyses/{id}/timeline  bottleneck source's evidence timeline
+//	GET    /v1/analyses/{id}/timeline/{source} one source's evidence timeline
+//	DELETE /v1/analyses/{id}           cancel
 //	GET    /v1/ring?key=K       inspect a key's placement (debugging)
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             liveness
@@ -31,6 +41,13 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", c.handleTimeline)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("POST /v1/analyses", c.handleSubmitAnalysis)
+	mux.HandleFunc("GET /v1/analyses/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/analyses/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /v1/analyses/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /v1/analyses/{id}/timeline", c.handleTimeline)
+	mux.HandleFunc("GET /v1/analyses/{id}/timeline/{source}", c.handleAnalysisTimeline)
+	mux.HandleFunc("DELETE /v1/analyses/{id}", c.handleCancel)
 	mux.HandleFunc("GET /v1/ring", c.handleRing)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -79,6 +96,55 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
+}
+
+// handleSubmitAnalysis accepts a bare analysis spec and submits it as a
+// fleet analysis job, mirroring noiselabd's endpoint of the same path.
+func (c *Coordinator) handleSubmitAnalysis(w http.ResponseWriter, r *http.Request) {
+	var spec analyze.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding analysis spec: "+err.Error())
+		return
+	}
+	st, err := c.Submit(service.JobSpec{Analyze: &spec})
+	switch {
+	case err == nil:
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// handleAnalysisTimeline serves one source's mirrored evidence timeline.
+func (c *Coordinator) handleAnalysisTimeline(w http.ResponseWriter, r *http.Request) {
+	data, state, ok := c.AnalysisTimeline(r.PathValue("id"), r.PathValue("source"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	switch {
+	case state == "done" && data != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case state == "done":
+		httpError(w, http.StatusNotFound, "no evidence timeline for that source (submit with \"timeline\": true)")
+	case state.Terminal():
+		httpError(w, http.StatusConflict, "job "+string(state)+", no timeline")
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusAccepted, "job "+string(state))
+	}
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {

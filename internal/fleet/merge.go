@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/analyze"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/service"
@@ -20,6 +21,9 @@ import (
 func Merge(parentHash string, parent service.JobSpec, subs []SubJob, payloads [][]byte) ([]byte, error) {
 	if len(subs) != len(payloads) {
 		return nil, fmt.Errorf("fleet: %d sub-jobs but %d payloads", len(subs), len(payloads))
+	}
+	if parent.Analyze != nil {
+		return mergeAnalysis(parent, subs, payloads)
 	}
 	var (
 		times    []sim.Time
@@ -70,4 +74,55 @@ func Merge(parentHash string, parent service.JobSpec, subs []SubJob, payloads []
 		return service.BuildClusterResult(parentHash, parent, clusters)
 	}
 	return service.BuildResult(parentHash, parent, times, traces)
+}
+
+// mergeAnalysis reassembles shard artifacts into the parent analysis
+// artifact. Each shard's payload is a complete analyze.Artifact over its
+// source chunk; concatenating the chunks' curves (chunks are contiguous
+// slices of the sorted source list) and re-running analyze.Assemble with
+// the parent spec reproduces the single-daemon artifact byte for byte —
+// Assemble is the only encoder on either path, and every derived field
+// (ranking, seed schedule, timeline refs) is a pure function of the curves.
+func mergeAnalysis(parent service.JobSpec, subs []SubJob, payloads [][]byte) ([]byte, error) {
+	var curves []analyze.SourceCurve
+	for i, raw := range payloads {
+		art, err := analyze.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: decoding analysis sub-job %d artifact: %w", i, err)
+		}
+		if art.ModelVersion != experiment.ModelVersion {
+			return nil, fmt.Errorf("fleet: analysis sub-job %d ran model %q, coordinator expects %q",
+				i, art.ModelVersion, experiment.ModelVersion)
+		}
+		sub := subs[i].Spec.Analyze
+		wantHash, err := analyze.SpecHash(sub)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: hashing analysis sub-spec %d: %w", i, err)
+		}
+		if art.SpecHash != wantHash {
+			return nil, fmt.Errorf("fleet: analysis sub-job %d returned hash %s, want %s",
+				i, art.SpecHash, wantHash)
+		}
+		want := sub.EffectiveSources()
+		if len(art.Curves) != len(want) {
+			return nil, fmt.Errorf("fleet: analysis sub-job %d returned %d curves, want %d",
+				i, len(art.Curves), len(want))
+		}
+		for j, c := range art.Curves {
+			if c.Source != want[j] {
+				return nil, fmt.Errorf("fleet: analysis sub-job %d curve %d is %q, want %q",
+					i, j, c.Source, want[j])
+			}
+		}
+		curves = append(curves, art.Curves...)
+	}
+	hash, err := analyze.SpecHash(parent.Analyze)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: hashing parent analysis spec: %w", err)
+	}
+	merged, err := analyze.Assemble(hash, experiment.ModelVersion, *parent.Analyze, curves)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: assembling merged analysis: %w", err)
+	}
+	return merged.Encode()
 }

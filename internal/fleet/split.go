@@ -30,8 +30,12 @@ type SubJob struct {
 // contiguous sub-jobs of near-equal size (the first reps%width slices get
 // one extra rep). width is clamped to [1, parent.Reps]. The parent's
 // Timeline flag survives only on the slice containing rep 0, matching the
-// single-node semantics of "record rep 0's timeline".
+// single-node semantics of "record rep 0's timeline". Analysis jobs split
+// along their source axis instead (see splitAnalysis).
 func Split(parent service.JobSpec, width int) ([]SubJob, error) {
+	if parent.Analyze != nil {
+		return splitAnalysis(parent, width)
+	}
 	reps := parent.Reps
 	if reps < 1 {
 		return nil, fmt.Errorf("fleet: cannot split %d reps", reps)
@@ -60,6 +64,49 @@ func Split(parent service.JobSpec, width int) ([]SubJob, error) {
 		}
 		subs = append(subs, SubJob{Offset: off, Spec: spec, Hash: hash})
 		off += n
+	}
+	return subs, nil
+}
+
+// splitAnalysis carves an analysis sweep into at most width contiguous
+// chunks of its (sorted) source list — the natural shard axis, because
+// analyze.CellSeed depends only on (base seed, source, factor): a shard
+// running its source subset executes exactly the cells the full sweep
+// would, same seeds, same bytes. Offset counts parent reps (sources before
+// the chunk times ladder length times reps), so fleet progress aggregates
+// in the same rep units as kernel jobs. Every chunk keeps the parent's
+// Timeline flag: evidence is per source, and each shard owns its sources'.
+func splitAnalysis(parent service.JobSpec, width int) ([]SubJob, error) {
+	sources := parent.Analyze.EffectiveSources()
+	ladder := parent.Analyze.EffectiveLadder()
+	n := len(sources)
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: cannot split %d sources", n)
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > n {
+		width = n
+	}
+	base, rem := n/width, n%width
+	subs := make([]SubJob, 0, width)
+	off := 0
+	for i := 0; i < width; i++ {
+		k := base
+		if i < rem {
+			k++
+		}
+		aspec := *parent.Analyze
+		aspec.Sources = append([]string(nil), sources[off:off+k]...)
+		aspec.Ladder = append([]float64(nil), ladder...)
+		spec := service.JobSpec{Analyze: &aspec}
+		hash, err := service.SpecHash(&spec) // normalizes; may re-collapse defaults
+		if err != nil {
+			return nil, fmt.Errorf("fleet: hashing analysis sub-job %d: %w", i, err)
+		}
+		subs = append(subs, SubJob{Offset: off * len(ladder) * parent.Analyze.Reps, Spec: spec, Hash: hash})
+		off += k
 	}
 	return subs, nil
 }

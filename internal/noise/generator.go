@@ -56,6 +56,9 @@ func Attach(s *cpusched.Scheduler, p Profile, rng *sim.RNG, horizon sim.Time) *G
 	if p.DiskRate > 0 && p.DiskIRQs > 0 && p.DiskCPU >= 0 && p.DiskCPU < ncpu {
 		g.diskLoop(rng.Stream("disk"))
 	}
+	if p.MemHogRate > 0 && p.MemHogBytes > 0 {
+		g.memhogLoop(rng.Stream("memhog"))
+	}
 	return g
 }
 
@@ -294,6 +297,43 @@ func (g *Generator) unboundLoop(rng *sim.RNG) {
 		eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
 	}
 	eng.After(sim.Time(rng.ExpFloat64(g.p.UnboundRate)*1e9), next)
+}
+
+// memhogLoop spawns synthetic memory-bandwidth hog tasks at Poisson
+// arrivals: each streams MemHogBytes (jittered) through the memory system,
+// contending with the workload for bandwidth without stealing meaningful
+// compute. This source exists only for the bottleneck analysis — natural
+// profiles leave MemHogRate 0, so attaching it last keeps every existing
+// stream draw (and therefore every natural run) byte-identical.
+func (g *Generator) memhogLoop(rng *sim.RNG) {
+	eng := g.s.Engine()
+	aff := g.threadAffinity()
+	var srcs [4]string
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("memhog/%d", i)
+	}
+	id := 0
+	var next func()
+	next = func() {
+		if eng.Now() > g.horizon {
+			return
+		}
+		id++
+		bytes := float64(rng.Jitter(sim.Time(g.p.MemHogBytes), 0.3))
+		if bytes < 1 {
+			bytes = 1
+		}
+		t := g.s.SpawnSeq(cpusched.TaskSpec{
+			Name:     "memhog",
+			Source:   srcs[id%len(srcs)],
+			Kind:     cpusched.KindNoiseThread,
+			Affinity: aff,
+		}, cpusched.ReqMemory(bytes))
+		g.Spawned++
+		g.noteSpawn(t, srcs[id%len(srcs)])
+		eng.After(sim.Time(rng.ExpFloat64(g.p.MemHogRate)*1e9), next)
+	}
+	eng.After(sim.Time(rng.ExpFloat64(g.p.MemHogRate)*1e9), next)
 }
 
 // daemonLoop spawns heavy-tailed background daemon bursts. A burst may be

@@ -76,6 +76,14 @@ type Profile struct {
 	DiskIRQDur   sim.Time // per interrupt
 	DiskFlushDur sim.Time // kworker flush after the storm
 
+	// MemHogRate is the machine-wide rate (events/sec) of synthetic
+	// memory-bandwidth hog tasks, each streaming MemHogBytes through the
+	// memory system. The natural profiles leave it 0; the bottleneck
+	// analysis switches it on to probe bandwidth sensitivity
+	// (ScaleSource("bandwidth", ...)).
+	MemHogRate  float64
+	MemHogBytes float64
+
 	// ThreadMask, when non-empty, confines all thread noise (kworkers and
 	// daemons) to these CPUs — the firmware core reservation of the A64FX
 	// "reserved" system. Interrupts still fire on every CPU.
@@ -90,6 +98,7 @@ func (p Profile) Scale(f float64) Profile {
 	p.DaemonRate *= f
 	p.GUIRate *= f
 	p.DiskRate *= f
+	p.MemHogRate *= f
 	return p
 }
 

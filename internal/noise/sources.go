@@ -1,0 +1,97 @@
+package noise
+
+import "sort"
+
+// Source classes for the differential bottleneck analysis: each class names
+// the subset of a Profile's noise machinery that contends for one kind of
+// resource, so scaling a single class probes that resource in isolation.
+const (
+	// SourceDaemon scales heavy-tailed background daemon and GUI bursts —
+	// roaming compute thieves with rare long outliers.
+	SourceDaemon = "daemon"
+	// SourceIRQ scales hard-interrupt pressure: the per-CPU timer tick and
+	// block-device interrupt storms.
+	SourceIRQ = "irq"
+	// SourceSoftIRQ scales the probability that each timer tick raises
+	// softirq work (RCU/SCHED/TIMER), capped at certainty.
+	SourceSoftIRQ = "softirq"
+	// SourceSMT scales CPU-bound kworker activity — the per-core
+	// contention an SMT sibling would produce.
+	SourceSMT = "smt"
+	// SourceBarrier scales unbound (roaming) kworkers, the class whose
+	// preemptions land adjacent to barriers and stretch collective waits.
+	SourceBarrier = "barrier"
+	// SourceBandwidth scales synthetic memory-bandwidth hog tasks. Natural
+	// profiles carry none, so the sweep seeds BandwidthBaseRate/Bytes at
+	// factor 1 and scales from there.
+	SourceBandwidth = "bandwidth"
+)
+
+// BandwidthBaseRate/BandwidthBaseBytes calibrate the synthetic bandwidth
+// source when the profile has none of its own: 40 hogs/sec each streaming
+// 2 MiB is enough to move a memory-bound region at factor 1 without
+// drowning the compute classes.
+const (
+	BandwidthBaseRate  = 40.0
+	BandwidthBaseBytes = float64(2 << 20)
+)
+
+// SourceClasses returns every analysis source class in sorted order — the
+// canonical enumeration the analyze spec normalizer and validators use.
+func SourceClasses() []string {
+	out := []string{
+		SourceBandwidth, SourceBarrier, SourceDaemon,
+		SourceIRQ, SourceSMT, SourceSoftIRQ,
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSourceClass reports whether name is a known analysis source class.
+func IsSourceClass(name string) bool {
+	switch name {
+	case SourceDaemon, SourceIRQ, SourceSoftIRQ, SourceSMT, SourceBarrier, SourceBandwidth:
+		return true
+	}
+	return false
+}
+
+// ScaleSource returns a copy of the profile with only the named source
+// class scaled by f, leaving every other source at its natural intensity.
+// Unknown classes return the profile unchanged (validate upstream with
+// IsSourceClass). The SoftIRQProb map is deep-copied before mutation:
+// Profile copies share map headers, and scaling a caller's map in place
+// would corrupt the natural profile for every later sweep point.
+func (p Profile) ScaleSource(class string, f float64) Profile {
+	switch class {
+	case SourceDaemon:
+		p.DaemonRate *= f
+		p.GUIRate *= f
+	case SourceIRQ:
+		p.TimerHz *= f
+		p.DiskRate *= f
+	case SourceSoftIRQ:
+		probs := make(map[string]float64, len(p.SoftIRQProb))
+		for src, prob := range p.SoftIRQProb {
+			prob *= f
+			if prob > 1 {
+				prob = 1
+			}
+			probs[src] = prob
+		}
+		p.SoftIRQProb = probs
+	case SourceSMT:
+		p.KworkerRate *= f
+	case SourceBarrier:
+		p.UnboundRate *= f
+	case SourceBandwidth:
+		if p.MemHogRate == 0 {
+			p.MemHogRate = BandwidthBaseRate
+		}
+		if p.MemHogBytes == 0 {
+			p.MemHogBytes = BandwidthBaseBytes
+		}
+		p.MemHogRate *= f
+	}
+	return p
+}

@@ -1,0 +1,123 @@
+package noise
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSourceClassesSortedAndRecognized(t *testing.T) {
+	classes := SourceClasses()
+	if len(classes) != 6 {
+		t.Fatalf("expected 6 source classes, got %v", classes)
+	}
+	if !sort.StringsAreSorted(classes) {
+		t.Fatalf("classes not sorted: %v", classes)
+	}
+	for _, c := range classes {
+		if !IsSourceClass(c) {
+			t.Fatalf("SourceClasses() returned unrecognized class %q", c)
+		}
+	}
+	for _, bad := range []string{"", "gpu", "IRQ", "daemons"} {
+		if IsSourceClass(bad) {
+			t.Fatalf("IsSourceClass(%q) = true", bad)
+		}
+	}
+}
+
+// TestScaleSourceIsolation checks each class scales only its own knobs.
+func TestScaleSourceIsolation(t *testing.T) {
+	base := Desktop()
+	for _, c := range SourceClasses() {
+		p := base.ScaleSource(c, 3)
+		if (p.DaemonRate != base.DaemonRate || p.GUIRate != base.GUIRate) != (c == SourceDaemon) {
+			t.Fatalf("%s: daemon knobs moved unexpectedly", c)
+		}
+		if (p.TimerHz != base.TimerHz || p.DiskRate != base.DiskRate) != (c == SourceIRQ) {
+			t.Fatalf("%s: irq knobs moved unexpectedly", c)
+		}
+		if (p.KworkerRate != base.KworkerRate) != (c == SourceSMT) {
+			t.Fatalf("%s: smt knob moved unexpectedly", c)
+		}
+		if (p.UnboundRate != base.UnboundRate) != (c == SourceBarrier) {
+			t.Fatalf("%s: barrier knob moved unexpectedly", c)
+		}
+		if (p.MemHogRate != base.MemHogRate) != (c == SourceBandwidth) {
+			t.Fatalf("%s: bandwidth knob moved unexpectedly", c)
+		}
+		moved := false
+		for src, prob := range p.SoftIRQProb {
+			if prob != base.SoftIRQProb[src] {
+				moved = true
+			}
+		}
+		if moved != (c == SourceSoftIRQ) {
+			t.Fatalf("%s: softirq probabilities moved unexpectedly", c)
+		}
+	}
+}
+
+// TestScaleSourceSoftirqDeepCopy: Profile copies share the SoftIRQProb map
+// header, so scaling must never mutate the caller's map — that would
+// silently corrupt the natural profile for every later sweep point.
+func TestScaleSourceSoftirqDeepCopy(t *testing.T) {
+	base := Desktop()
+	want := make(map[string]float64, len(base.SoftIRQProb))
+	for k, v := range base.SoftIRQProb {
+		want[k] = v
+	}
+	scaled := base.ScaleSource(SourceSoftIRQ, 2)
+	for k, v := range base.SoftIRQProb {
+		if v != want[k] {
+			t.Fatalf("ScaleSource mutated caller's map: %s = %g, want %g", k, v, want[k])
+		}
+	}
+	for k, v := range scaled.SoftIRQProb {
+		wantScaled := want[k] * 2
+		if wantScaled > 1 {
+			wantScaled = 1
+		}
+		if v != wantScaled {
+			t.Fatalf("scaled prob %s = %g, want %g", k, v, wantScaled)
+		}
+	}
+}
+
+// TestScaleSourceSoftirqCap: probabilities saturate at 1.
+func TestScaleSourceSoftirqCap(t *testing.T) {
+	p := Desktop().ScaleSource(SourceSoftIRQ, 100)
+	for k, v := range p.SoftIRQProb {
+		if v != 1 {
+			t.Fatalf("prob %s = %g, want capped at 1", k, v)
+		}
+	}
+}
+
+// TestScaleSourceBandwidthSeedsBase: natural profiles have no memhog; the
+// bandwidth class seeds the calibrated base before scaling.
+func TestScaleSourceBandwidthSeedsBase(t *testing.T) {
+	p := Desktop().ScaleSource(SourceBandwidth, 2)
+	if p.MemHogRate != BandwidthBaseRate*2 {
+		t.Fatalf("MemHogRate = %g, want %g", p.MemHogRate, BandwidthBaseRate*2)
+	}
+	if p.MemHogBytes != BandwidthBaseBytes {
+		t.Fatalf("MemHogBytes = %g, want %g", p.MemHogBytes, BandwidthBaseBytes)
+	}
+	// A profile with its own calibration scales from it instead.
+	own := Desktop()
+	own.MemHogRate, own.MemHogBytes = 10, 1<<10
+	own = own.ScaleSource(SourceBandwidth, 3)
+	if own.MemHogRate != 30 || own.MemHogBytes != 1<<10 {
+		t.Fatalf("own calibration not respected: rate %g bytes %g", own.MemHogRate, own.MemHogBytes)
+	}
+}
+
+func TestScaleSourceUnknownClassNoop(t *testing.T) {
+	base := Desktop()
+	p := base.ScaleSource("gpu", 5)
+	if p.TimerHz != base.TimerHz || p.DaemonRate != base.DaemonRate ||
+		p.KworkerRate != base.KworkerRate || p.UnboundRate != base.UnboundRate ||
+		p.MemHogRate != base.MemHogRate {
+		t.Fatal("unknown class changed the profile")
+	}
+}

@@ -1,0 +1,274 @@
+package service
+
+// End-to-end tests of the analysis API over httptest: POST /v1/analyses →
+// poll → artifact byte-identical to a direct analyze.Run of the same spec,
+// resubmission served from cache with zero additional engine executions
+// (with /metrics as evidence), evidence-timeline endpoints, and
+// malformed-spec 400s. The file runs under -race with the rest of the
+// package.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/experiment"
+)
+
+// tinyAnalysisSpec is a fast three-source sweep on the 4-core test machine.
+func tinyAnalysisSpec(seed uint64) analyze.Spec {
+	return analyze.Spec{
+		Platform: "tiny-test", Workload: "nbody", Size: "small",
+		Model: "omp", Strategy: "Rm", Seed: seed, Reps: 3,
+		Sources:  []string{"daemon", "irq", "bandwidth"},
+		Ladder:   []float64{1, 4},
+		Timeline: true,
+	}
+}
+
+// submitAnalysis posts a bare analysis spec to /v1/analyses.
+func submitAnalysis(t *testing.T, ts *httptest.Server, spec analyze.Spec, want ...int) JobStatus {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyses", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	ok := false
+	for _, w := range want {
+		ok = ok || resp.StatusCode == w
+	}
+	if !ok {
+		t.Fatalf("submit analysis: HTTP %d (want %v): %s", resp.StatusCode, want, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("submit analysis: decoding %q: %v", data, err)
+	}
+	return st
+}
+
+// fetchPath downloads one analysis endpoint's body, asserting 200.
+func fetchPath(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestAnalysisSubmitPollFetch: the daemon's artifact must be byte-identical
+// to a direct analyze.Run of the same spec, and the timeline endpoints must
+// serve the same evidence bytes the direct run exports.
+func TestAnalysisSubmitPollFetch(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{})
+	spec := tinyAnalysisSpec(42)
+
+	st := submitAnalysis(t, ts, spec, http.StatusAccepted)
+	final := waitTerminal(t, ts, w, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("analysis did not finish: %+v", final)
+	}
+	if wantTotal := spec.TotalReps(); final.RepsTotal != wantTotal || final.RepsDone != wantTotal {
+		t.Fatalf("progress %d/%d, want %d/%d", final.RepsDone, final.RepsTotal, wantTotal, wantTotal)
+	}
+	payload := fetchPath(t, ts, "/v1/analyses/"+st.ID+"/result")
+
+	direct, err := analyze.Run(context.Background(), experiment.Executor{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Artifact.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatalf("daemon artifact differs from direct run:\n%.300s\nvs\n%.300s", payload, want)
+	}
+
+	// The job-route alias serves the same bytes.
+	if alias := fetchResult(t, ts, st.ID); !bytes.Equal(alias, payload) {
+		t.Fatal("/v1/jobs result alias differs from /v1/analyses result")
+	}
+
+	// Per-source evidence equals the direct run's export; the plain
+	// timeline endpoint serves the bottleneck source's copy.
+	art, err := analyze.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Timelines) != 3 {
+		t.Fatalf("artifact references %d timelines, want 3", len(art.Timelines))
+	}
+	for _, ref := range art.Timelines {
+		tl := fetchPath(t, ts, "/v1/analyses/"+st.ID+"/timeline/"+ref.Source)
+		if !bytes.Equal(tl, direct.Timelines[ref.Source]) {
+			t.Fatalf("%s evidence differs from direct run", ref.Source)
+		}
+	}
+	headline := fetchPath(t, ts, "/v1/analyses/"+st.ID+"/timeline")
+	if !bytes.Equal(headline, direct.Timelines[art.Bottleneck]) {
+		t.Fatalf("headline timeline is not the bottleneck source's (%s)", art.Bottleneck)
+	}
+}
+
+// TestAnalysisResubmitZeroExecution: resubmitting the same sweep (spelled
+// differently) is served from cache at submit time — zero additional engine
+// executions, with /metrics as the evidence trail.
+func TestAnalysisResubmitZeroExecution(t *testing.T) {
+	srv, ts, w := newTestServer(t, Config{})
+	spec := tinyAnalysisSpec(7)
+
+	first := submitAnalysis(t, ts, spec, http.StatusAccepted)
+	if st := waitTerminal(t, ts, w, first.ID); st.State != StateDone || st.Cached {
+		t.Fatalf("first analysis: %+v", st)
+	}
+	payload1 := fetchPath(t, ts, "/v1/analyses/"+first.ID+"/result")
+	if got := srv.Metrics().Executions; got != 1 {
+		t.Fatalf("executions after first analysis = %d, want 1", got)
+	}
+
+	// Representation variants: model case, unsorted duplicated sources,
+	// unsorted duplicated ladder. Same canonical spec, same hash.
+	spec2 := spec
+	spec2.Model = " OMP "
+	spec2.Sources = []string{"irq", "bandwidth", "daemon", "irq"}
+	spec2.Ladder = []float64{4, 1, 4}
+	second := submitAnalysis(t, ts, spec2, http.StatusOK)
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("resubmission not served from cache: %+v", second)
+	}
+	if second.SpecHash != first.SpecHash {
+		t.Fatalf("hashes differ: %s vs %s", second.SpecHash, first.SpecHash)
+	}
+	payload2 := fetchPath(t, ts, "/v1/analyses/"+second.ID+"/result")
+	if !bytes.Equal(payload1, payload2) {
+		t.Fatal("cached artifact differs from the original execution")
+	}
+	if got := srv.Metrics().Executions; got != 1 {
+		t.Fatalf("resubmission re-ran the engine: executions = %d, want 1", got)
+	}
+
+	// The cached job still serves evidence timelines (derived cache keys).
+	art, err := analyze.Decode(payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range art.Timelines {
+		if tl := fetchPath(t, ts, "/v1/analyses/"+second.ID+"/timeline/"+ref.Source); len(tl) == 0 {
+			t.Fatalf("cached job serves empty %s evidence", ref.Source)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(metricsBody)
+	for _, want := range []string{
+		"noiselabd_executions_total 1",
+		"noiselabd_cache_hits_total 1",
+		"noiselabd_jobs_total{state=\"done\"} 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAnalysisMalformed400s: malformed analysis specs are rejected with 400
+// at submit time, never reaching the engine.
+func TestAnalysisMalformed400s(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	post := func(t *testing.T, path string, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	valid := tinyAnalysisSpec(1)
+	cases := map[string]func(*analyze.Spec){
+		"unknown source class": func(s *analyze.Spec) { s.Sources = []string{"gpu"} },
+		"single-rung ladder":   func(s *analyze.Spec) { s.Ladder = []float64{2} },
+		"zero reps":            func(s *analyze.Spec) { s.Reps = 0 },
+		"unknown platform":     func(s *analyze.Spec) { s.Platform = "cray-1" },
+	}
+	for name, mut := range cases {
+		s := valid
+		s.Sources = append([]string(nil), valid.Sources...)
+		s.Ladder = append([]float64(nil), valid.Ladder...)
+		mut(&s)
+		body, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, resp := post(t, "/v1/analyses", string(body)); code != http.StatusBadRequest {
+			t.Fatalf("%s: HTTP %d (want 400): %s", name, code, resp)
+		}
+	}
+
+	// An explicitly empty ladder (or source list) is a 400, not a silent
+	// fall-back to the defaults. Raw JSON: the Go struct's omitempty would
+	// drop the empty slice before it reached the wire.
+	emptyLadder := `{"platform":"tiny-test","workload":"nbody","size":"small","model":"omp","strategy":"Rm","reps":1,"ladder":[]}`
+	if code, resp := post(t, "/v1/analyses", emptyLadder); code != http.StatusBadRequest {
+		t.Fatalf("empty ladder: HTTP %d (want 400): %s", code, resp)
+	}
+	emptySources := `{"platform":"tiny-test","workload":"nbody","size":"small","model":"omp","strategy":"Rm","reps":1,"sources":[]}`
+	if code, resp := post(t, "/v1/analyses", emptySources); code != http.StatusBadRequest {
+		t.Fatalf("empty sources: HTTP %d (want 400): %s", code, resp)
+	}
+
+	// Unknown fields are rejected, so typos cannot silently change a sweep.
+	if code, resp := post(t, "/v1/analyses", `{"platform":"tiny-test","laddder":[1,2]}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: HTTP %d (want 400): %s", code, resp)
+	}
+
+	// Mixing an analysis with single-node fields on the job route is
+	// ambiguous and rejected.
+	mixed := `{"platform":"tiny-test","analyze":{"platform":"tiny-test","workload":"nbody","size":"small","model":"omp","strategy":"Rm","reps":1,"ladder":[1,2]}}`
+	if code, resp := post(t, "/v1/jobs", mixed); code != http.StatusBadRequest {
+		t.Fatalf("mixed fields: HTTP %d (want 400): %s", code, resp)
+	}
+
+	// An oversized rep budget is bounded by sources x ladder x reps, not
+	// just the per-point count.
+	small, tsSmall, _ := newTestServer(t, Config{MaxReps: 10})
+	defer small.Close()
+	budget := tinyAnalysisSpec(2) // 3 sources x 2 factors x 3 reps = 18 > 10
+	body, _ := json.Marshal(budget)
+	resp, err := http.Post(tsSmall.URL+"/v1/analyses", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "budget") {
+		t.Fatalf("rep budget: HTTP %d: %s", resp.StatusCode, data)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/analyze"
 )
 
 // API surface:
@@ -19,6 +21,15 @@ import (
 //	GET    /v1/jobs/{id}/timeline fetch the Chrome trace-event timeline
 //	                           (specs submitted with "timeline": true)
 //	DELETE /v1/jobs/{id}       cancel
+//	POST   /v1/analyses        submit a bare analysis spec (analyze.Spec);
+//	                           the body is wrapped as JobSpec{Analyze: spec}
+//	                           and rides the same queue, cache and SSE stream
+//	GET    /v1/analyses/{id}           poll status (alias of the job route)
+//	GET    /v1/analyses/{id}/result    fetch the analysis artifact verbatim
+//	GET    /v1/analyses/{id}/events    live progress (SSE)
+//	GET    /v1/analyses/{id}/timeline  bottleneck source's evidence timeline
+//	GET    /v1/analyses/{id}/timeline/{source} one source's evidence timeline
+//	DELETE /v1/analyses/{id}           cancel
 //	GET    /metrics            Prometheus text metrics (?format=json for the
 //	                           JSON rendering of the same registries)
 //	GET    /debug/flightrecorder recent flight-recorder dumps of failed reps
@@ -36,6 +47,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/analyses", s.handleSubmitAnalysis)
+	mux.HandleFunc("GET /v1/analyses/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/analyses/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/analyses/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/analyses/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /v1/analyses/{id}/timeline/{source}", s.handleAnalysisTimeline)
+	mux.HandleFunc("DELETE /v1/analyses/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +101,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
+}
+
+// handleSubmitAnalysis accepts a bare analysis spec and submits it as an
+// analysis job. The wrapped JobSpec leaves every single-node field unset,
+// so validateAnalyze cannot reject it for field mixing — only the analysis
+// spec itself is on trial.
+func (s *Server) handleSubmitAnalysis(w http.ResponseWriter, r *http.Request) {
+	var spec analyze.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding analysis spec: "+err.Error())
+		return
+	}
+	job, err := s.Submit(JobSpec{Analyze: &spec})
+	switch {
+	case err == nil:
+	case errors.Is(err, errQueueFull), errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, _ := s.Status(job.ID)
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// handleAnalysisTimeline serves one noise source's evidence timeline of a
+// finished analysis job.
+func (s *Server) handleAnalysisTimeline(w http.ResponseWriter, r *http.Request) {
+	data, state, ok := s.AnalysisTimeline(r.PathValue("id"), r.PathValue("source"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	switch {
+	case state == StateDone && data != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case state == StateDone:
+		httpError(w, http.StatusNotFound, "no evidence timeline for that source (submit with \"timeline\": true)")
+	case state.Terminal():
+		httpError(w, http.StatusConflict, "job "+string(state)+", no timeline")
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusAccepted, "job "+string(state))
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -403,7 +404,7 @@ func (s *Server) runJob(job *Job) {
 	job.State = StateRunning
 	job.Started = time.Now()
 	job.cancel = cancel
-	job.repsTotal = job.Spec.Reps
+	job.repsTotal = job.Spec.TotalReps()
 	s.mu.Unlock()
 	s.met.jobStarted()
 	s.notifyUpdate(job.ID, StateRunning)
@@ -462,6 +463,9 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 		s.mu.Unlock()
 		job.events.PublishProgress(done, total)
 	}
+	if job.Spec.Analyze != nil {
+		return s.executeAnalysis(ctx, job, exec)
+	}
 	if job.Spec.Cluster != nil {
 		return s.executeCluster(ctx, job, exec, &timeline)
 	}
@@ -519,6 +523,50 @@ func BuildClusterResult(hash string, spec JobSpec, results []*cluster.Result) ([
 	}
 	res.Summary = stats.Summarize(batches)
 	return json.Marshal(res)
+}
+
+// executeAnalysis runs a bottleneck-analysis job: the full differential
+// sweep through analyze.Run, with the artifact bytes as the cached result
+// payload. Evidence timelines land as derived cache entries — one per
+// source under "tl-<source>", plus the bottleneck source's copy under the
+// plain "tl" key so GET .../timeline serves the headline evidence exactly
+// like a single-node job's. analyze.Run forces its own per-cell timeline
+// recording, so the executor's OnTimeline buffer stays untouched here.
+func (s *Server) executeAnalysis(ctx context.Context, job *Job, exec experiment.Executor) ([]byte, error) {
+	out, err := analyze.Run(ctx, exec, *job.Spec.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	for src, tl := range out.Timelines {
+		if err := s.cache.Put(rescache.DerivedKey(job.Hash, "tl-"+src), tl); err != nil {
+			return nil, fmt.Errorf("service: storing %s timeline: %w", src, err)
+		}
+	}
+	if tl, ok := out.Timelines[out.Artifact.Bottleneck]; ok {
+		if err := s.cache.Put(rescache.DerivedKey(job.Hash, "tl"), tl); err != nil {
+			return nil, fmt.Errorf("service: storing timeline: %w", err)
+		}
+	}
+	return out.Artifact.Encode()
+}
+
+// AnalysisTimeline returns one stored evidence timeline of an analysis job
+// (nil data when the job is unfinished, not an analysis, or never exported
+// evidence for that source).
+func (s *Server) AnalysisTimeline(id, source string) (data []byte, state JobState, found bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, "", false
+	}
+	state, hash := j.State, j.Hash
+	s.mu.Unlock()
+	if state != StateDone {
+		return nil, state, true
+	}
+	data, _ = s.cache.Get(rescache.DerivedKey(hash, "tl-"+source))
+	return data, state, true
 }
 
 // executeCluster runs a cluster job: Reps runs of the embedded scenario,

@@ -15,6 +15,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -68,6 +69,12 @@ type JobSpec struct {
 	// results hash into the same content-key scheme (omitempty keeps legacy
 	// single-node hashes stable).
 	Cluster *cluster.Spec `json:"cluster,omitempty"`
+	// Analyze, when non-nil, makes this a bottleneck-analysis job: a
+	// differential noise sweep whose result payload is the analysis
+	// artifact (analyze.Artifact JSON). As with Cluster, every other field
+	// must be unset — the analysis spec carries its own cell, seed, and rep
+	// counts (omitempty keeps legacy hashes stable).
+	Analyze *analyze.Spec `json:"analyze,omitempty"`
 }
 
 // Normalize rewrites representation-only variation to canonical form so
@@ -90,6 +97,9 @@ func (s *JobSpec) Normalize() {
 	if s.Cluster != nil {
 		s.Cluster.Normalize()
 	}
+	if s.Analyze != nil {
+		s.Analyze.Normalize()
+	}
 }
 
 // Validate checks the spec against the known platforms, workloads, models
@@ -98,6 +108,9 @@ func (s *JobSpec) Normalize() {
 // single-node fields is rejected so a submission cannot be ambiguous about
 // which simulation it requests.
 func (s *JobSpec) Validate(maxReps int) error {
+	if s.Analyze != nil {
+		return s.validateAnalyze(maxReps)
+	}
 	if s.Cluster != nil {
 		return s.validateCluster(maxReps)
 	}
@@ -157,6 +170,39 @@ func (s *JobSpec) validateCluster(maxReps int) error {
 		return fmt.Errorf("service: reps %d exceeds the server limit %d", s.Reps, maxReps)
 	}
 	return nil
+}
+
+// validateAnalyze checks an analysis submission: the embedded analysis
+// spec must validate, every other job field must be unset, and the total
+// rep budget (sources x ladder x reps) stays within the server bound —
+// bounding only the per-point count would let a wide sweep smuggle in an
+// arbitrarily large budget.
+func (s *JobSpec) validateAnalyze(maxReps int) error {
+	if s.Platform != "" || s.Workload != "" || s.Model != "" || s.Strategy != "" || s.Size != "" {
+		return fmt.Errorf("service: analysis jobs must not set platform, workload, model, strategy or size (the analysis spec has its own)")
+	}
+	if s.Reps != 0 || s.Seed != 0 || s.Tracing || s.Runlevel3 || s.PinInjectors ||
+		s.Inject != nil || s.NoiseScale != 0 || s.Timeline || s.Cluster != nil {
+		return fmt.Errorf("service: analysis jobs must not set reps, seed, tracing, runlevel3, pin_injectors, inject, noise_scale, timeline or cluster (the analysis spec has its own)")
+	}
+	if err := s.Analyze.Validate(maxReps); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if maxReps > 0 && s.Analyze.TotalReps() > maxReps {
+		return fmt.Errorf("service: analysis rep budget %d (sources x ladder x reps) exceeds the server limit %d",
+			s.Analyze.TotalReps(), maxReps)
+	}
+	return nil
+}
+
+// TotalReps is the job's rep budget: the analysis sweep total for analysis
+// jobs, Reps otherwise. Progress (reps_done/reps_total) is reported
+// against it.
+func (s *JobSpec) TotalReps() int {
+	if s.Analyze != nil {
+		return s.Analyze.TotalReps()
+	}
+	return s.Reps
 }
 
 // Resolve converts the wire spec into an executable experiment.Spec.

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinFit is an ordinary-least-squares line fit y = Intercept + Slope*x with
+// the slope's uncertainty attached. It is the sensitivity model behind the
+// bottleneck analysis: x is a noise-source intensity factor, y a measured
+// time, and Slope the resource's sensitivity in ms per intensity step.
+type LinFit struct {
+	// N is the number of (x, y) points fitted.
+	N int `json:"n"`
+	// Slope and Intercept are the fitted coefficients.
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+	// R2 is the coefficient of determination (1 when the points are
+	// perfectly collinear, including the all-identical-y case where the
+	// fit reproduces every point exactly).
+	R2 float64 `json:"r2"`
+	// SlopeSE is the standard error of the slope (0 when N == 2: two
+	// points leave no residual degrees of freedom).
+	SlopeSE float64 `json:"slope_se"`
+	// SlopeLo/SlopeHi bound the slope at the confidence level LinearFit
+	// was called with (Slope ± t*SlopeSE).
+	SlopeLo float64 `json:"slope_lo"`
+	SlopeHi float64 `json:"slope_hi"`
+}
+
+// tTable95 holds two-sided 95% Student-t quantiles for 1..30 residual
+// degrees of freedom; larger df fall back to the normal 1.96. The analysis
+// ladders are short (a handful of points), so the small-df entries are the
+// ones that matter.
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tQuantile95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.96
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the fit
+// with a 95% confidence interval on the slope. It rejects hostile input
+// instead of returning silent garbage: mismatched lengths, fewer than two
+// points, non-finite values, and zero x-variance (a vertical "line") are
+// all errors — the same class of input the Quantile NaN sweep once turned
+// into a panic. Negative slopes are fine; all-identical y fits a flat line
+// with R2 = 1.
+func LinearFit(xs, ys []float64) (LinFit, error) {
+	if len(xs) != len(ys) {
+		return LinFit{}, fmt.Errorf("stats: linear fit: %d xs vs %d ys", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinFit{}, fmt.Errorf("stats: linear fit needs >= 2 points, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return LinFit{}, fmt.Errorf("stats: linear fit: non-finite input at point %d (%g, %g)", i, xs[i], ys[i])
+		}
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinFit{}, fmt.Errorf("stats: linear fit: zero x-variance (all x = %g)", mx)
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		r := ys[i] - (a + b*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	fit := LinFit{N: n, Slope: b, Intercept: a}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		// All y identical: the flat fit reproduces every point exactly.
+		fit.R2 = 1
+	}
+	if n > 2 {
+		fit.SlopeSE = math.Sqrt(ssRes / float64(n-2) / sxx)
+	}
+	t := tQuantile95(n - 2)
+	fit.SlopeLo = b - t*fit.SlopeSE
+	fit.SlopeHi = b + t*fit.SlopeSE
+	return fit, nil
+}
+
+// meanCISeed fixes the bootstrap seed MeanCI uses, so every caller —
+// advisor assessments, analysis sweep points — reports uncertainty from the
+// same deterministic resampling.
+const meanCISeed uint64 = 0x9e3779b97f4a7c15
+
+// meanCIIters is MeanCI's resample count: enough for stable percentile
+// ends at the sample sizes the studies use, cheap enough to run per cell.
+const meanCIIters = 200
+
+// MeanCI returns the sample mean of xs with a deterministic percentile-
+// bootstrap confidence interval at the given level (e.g. 0.95). It is the
+// one mean-uncertainty convention shared by the advisor and the bottleneck
+// analysis, so their tables read the same way.
+func MeanCI(xs []float64, level float64) (mean, lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	mean = Mean(xs)
+	lo, hi = BootstrapCI(xs, level, meanCIIters, meanCISeed)
+	return mean, lo, hi
+}

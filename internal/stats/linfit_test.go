@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLinearFitExact checks recovery of known lines, including negative
+// slopes.
+func TestLinearFitExact(t *testing.T) {
+	cases := []struct {
+		name       string
+		xs, ys     []float64
+		slope, icp float64
+	}{
+		{"identity", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3}, 1, 0},
+		{"affine", []float64{1, 2, 4, 8}, []float64{5, 7, 11, 19}, 2, 3},
+		{"negative", []float64{1, 2, 3, 4}, []float64{10, 8, 6, 4}, -2, 12},
+		{"two-points", []float64{1, 3}, []float64{2, 8}, 3, -1},
+		{"flat", []float64{1, 2, 4, 8}, []float64{6, 6, 6, 6}, 0, 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fit, err := LinearFit(c.xs, c.ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fit.Slope-c.slope) > 1e-12 || math.Abs(fit.Intercept-c.icp) > 1e-12 {
+				t.Fatalf("fit = %+v, want slope %g intercept %g", fit, c.slope, c.icp)
+			}
+			if math.Abs(fit.R2-1) > 1e-12 {
+				t.Fatalf("exact line should give R2 = 1, got %g", fit.R2)
+			}
+			if fit.N != len(c.xs) {
+				t.Fatalf("N = %d, want %d", fit.N, len(c.xs))
+			}
+			// An exact fit has zero residual, so the CI collapses onto the
+			// slope.
+			if fit.SlopeLo != fit.Slope || fit.SlopeHi != fit.Slope {
+				t.Fatalf("exact fit CI should collapse: %+v", fit)
+			}
+		})
+	}
+}
+
+// TestLinearFitHostileInput is the edge-case sweep: the same class of input
+// that once made Quantile panic must come back as errors here, never as
+// silent garbage slopes.
+func TestLinearFitHostileInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"empty", nil, nil},
+		{"single-point", []float64{1}, []float64{2}},
+		{"length-mismatch", []float64{1, 2}, []float64{1}},
+		{"zero-x-variance", []float64{2, 2, 2}, []float64{1, 2, 3}},
+		{"two-identical-points", []float64{5, 5}, []float64{7, 7}},
+		{"nan-x", []float64{1, math.NaN(), 3}, []float64{1, 2, 3}},
+		{"nan-y", []float64{1, 2, 3}, []float64{1, math.NaN(), 3}},
+		{"inf-x", []float64{1, math.Inf(1), 3}, []float64{1, 2, 3}},
+		{"neg-inf-y", []float64{1, 2, 3}, []float64{1, 2, math.Inf(-1)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fit, err := LinearFit(c.xs, c.ys)
+			if err == nil {
+				t.Fatalf("hostile input accepted: %+v", fit)
+			}
+		})
+	}
+}
+
+// TestLinearFitNoisy checks the uncertainty plumbing on a non-exact fit:
+// residuals give a positive standard error and a CI that brackets the
+// slope symmetrically.
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{2.1, 3.9, 8.3, 15.8} // roughly 2x
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 1.5 || fit.Slope > 2.5 {
+		t.Fatalf("slope = %g, want ~2", fit.Slope)
+	}
+	if fit.SlopeSE <= 0 {
+		t.Fatalf("noisy fit should have positive slope SE: %+v", fit)
+	}
+	if !(fit.SlopeLo < fit.Slope && fit.Slope < fit.SlopeHi) {
+		t.Fatalf("CI does not bracket the slope: %+v", fit)
+	}
+	if lw, hw := fit.Slope-fit.SlopeLo, fit.SlopeHi-fit.Slope; math.Abs(lw-hw) > 1e-12 {
+		t.Fatalf("CI not symmetric: %+v", fit)
+	}
+	if fit.R2 <= 0.9 || fit.R2 >= 1 {
+		t.Fatalf("R2 = %g, want in (0.9, 1)", fit.R2)
+	}
+}
+
+// TestLinearFitDeterministic: same input, same fit — the artifact encoder
+// depends on it.
+func TestLinearFitDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{3.2, 4.1, 9.7, 18.4}
+	a, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LinearFit(append([]float64(nil), xs...), append([]float64(nil), ys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fit not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	if got := tQuantile95(0); got != 0 {
+		t.Fatalf("df 0 = %g, want 0", got)
+	}
+	if got := tQuantile95(1); got != 12.706 {
+		t.Fatalf("df 1 = %g", got)
+	}
+	if got := tQuantile95(1000); got != 1.96 {
+		t.Fatalf("df 1000 = %g, want 1.96", got)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	if m, lo, hi := MeanCI(nil, 0.95); m != 0 || lo != 0 || hi != 0 {
+		t.Fatalf("empty MeanCI = %g [%g, %g]", m, lo, hi)
+	}
+	xs := []float64{9, 10, 11, 10, 9, 11, 10, 10}
+	m, lo, hi := MeanCI(xs, 0.95)
+	if m != 10 {
+		t.Fatalf("mean = %g, want 10", m)
+	}
+	if !(lo <= m && m <= hi) {
+		t.Fatalf("CI [%g, %g] does not bracket mean %g", lo, hi, m)
+	}
+	// Deterministic: the fixed internal seed makes repeated calls agree.
+	m2, lo2, hi2 := MeanCI(xs, 0.95)
+	if m != m2 || lo != lo2 || hi != hi2 {
+		t.Fatal("MeanCI not deterministic")
+	}
+}

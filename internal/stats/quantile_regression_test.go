@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestQuantileBoundedOnDuplicates is the regression test for the lerp
+// rounding bug: with adjacent equal values the old a*(1-f)+b*f form
+// returned 1 ulp above the maximum (Quantile([114,114], 0.1) =
+// 114.00000000000001), which the monotone property test caught only when
+// testing/quick happened to generate duplicates.
+func TestQuantileBoundedOnDuplicates(t *testing.T) {
+	for _, raw := range [][]int8{{114, 114}, {-84, 36, -84}, {7, 7, 7, 7}, {-1, -1, 0}} {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		sort.Float64s(xs)
+		prev := xs[0]
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := Quantile(xs, q)
+			if v < xs[0] || v > xs[len(xs)-1] {
+				t.Fatalf("Quantile(%v, %v) = %v escapes [min, max]", xs, q, v)
+			}
+			if v < prev {
+				t.Fatalf("Quantile(%v, %v) = %v < previous %v", xs, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}

@@ -142,7 +142,19 @@ func Quantile(sorted []float64, q float64) float64 {
 	if lo+1 >= n {
 		return sorted[n-1]
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	// a + frac*(b-a) rather than a*(1-frac)+b*frac: the two-product form
+	// rounds 1 ulp above b when a == b (e.g. Quantile([114,114], 0.1) gave
+	// 114.00000000000001), breaking the min/max bound. Clamp for the
+	// residual cases where b-a itself rounds up.
+	a, b := sorted[lo], sorted[lo+1]
+	v := a + frac*(b-a)
+	if v < a {
+		return a
+	}
+	if v > b {
+		return b
+	}
+	return v
 }
 
 // FiveNum is the box-plot five-number summary used for Figures 1-2.
