@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-service bench-tables bench-quick benchdiff benchdiff-service examples clean cover test-service test-fleet test-analyze fuzz-smoke serve serve-fleet
+.PHONY: all build test vet fmt race bench bench-kernel bench-obs bench-cluster bench-service bench-tables bench-quick benchdiff benchdiff-service examples clean cover test-service test-fleet test-analyze test-io fuzz-smoke serve serve-fleet
 
 all: build vet test
 
@@ -50,6 +50,19 @@ test-analyze:
 	$(GO) test -race -count=3 ./internal/analyze/ ./internal/advisor/ ./internal/stats/
 	$(GO) test -race -count=3 -run 'TestAnalysis' ./internal/service/
 	$(GO) test -race -count=3 -run 'TestFleetAnalysis' ./internal/fleet/
+
+# Blocking I/O, devices, and the deadline class (DESIGN.md §13): the
+# cpusched block/wake + EDF/CBS unit suite, the I/O workload shapes, the
+# experiment-layer golden fixture (the six I/O+deadline cases ride the
+# ordinary golden kernel tests), and the fleet/service byte-identity e2e
+# for an I/O+deadline job. 3x under -race: the batch executor forks
+# scheduler snapshots across a worker pool, so any nondeterminism in
+# device-queue or CBS-timer replay only surfaces across repeats.
+test-io:
+	$(GO) test -race -count=3 ./internal/cpusched/ ./internal/workloads/
+	$(GO) test -race -count=3 -run 'TestGolden' ./internal/experiment/
+	$(GO) test -race -count=3 -run 'TestResultDeterminismIODeadline|TestValidateDeadlineFields' ./internal/service/
+	$(GO) test -race -count=3 -run 'TestFleetByteIdenticalIODeadline' ./internal/fleet/
 
 # Short deterministic-budget fuzz smoke of the fuzz targets (cache-key
 # canonicalization, the trace codec round trip, the analysis spec hash, and

@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/mitigate"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -87,12 +88,14 @@ func newExec() repro.Executor {
 // commonFlags bundles the run-configuration flags shared by several
 // subcommands.
 type commonFlags struct {
-	fs       *flag.FlagSet
-	platform *string
-	workload *string
-	model    *string
-	strategy *string
-	seed     *uint64
+	fs        *flag.FlagSet
+	platform  *string
+	workload  *string
+	model     *string
+	strategy  *string
+	seed      *uint64
+	dlRuntime *int64
+	dlPeriod  *int64
 }
 
 func newCommon(name string) *commonFlags {
@@ -104,7 +107,25 @@ func newCommon(name string) *commonFlags {
 		model:    fs.String("model", "omp", "programming model: omp or sycl"),
 		strategy: fs.String("strategy", "Rm", "mitigation strategy (Rm, RmHK, RmHK2, TP, TPHK, TPHK2, with optional -SMT suffix)"),
 		seed:     fs.Uint64("seed", 1, "random seed"),
+		dlRuntime: fs.Int64("dl-runtime-ns", 0,
+			"SCHED_DEADLINE per-thread CBS runtime in ns (0 = fair class; requires -dl-period-ns)"),
+		dlPeriod: fs.Int64("dl-period-ns", 0,
+			"SCHED_DEADLINE per-thread CBS period in ns (0 = fair class; requires -dl-runtime-ns)"),
 	}
+}
+
+// applyDeadline copies the -dl-* flags onto a spec, validating the pair.
+func (c *commonFlags) applyDeadline(spec *repro.Spec) error {
+	if *c.dlRuntime == 0 && *c.dlPeriod == 0 {
+		return nil
+	}
+	if *c.dlRuntime <= 0 || *c.dlPeriod <= 0 || *c.dlRuntime > *c.dlPeriod {
+		return fmt.Errorf("-dl-runtime-ns %d and -dl-period-ns %d must both be positive with runtime <= period",
+			*c.dlRuntime, *c.dlPeriod)
+	}
+	spec.DLRuntime = sim.Time(*c.dlRuntime)
+	spec.DLPeriod = sim.Time(*c.dlPeriod)
+	return nil
 }
 
 func (c *commonFlags) resolve() (*repro.Platform, repro.Workload, repro.Strategy, error) {
@@ -157,6 +178,9 @@ func cmdRun(args []string) error {
 		Platform: p, Workload: w, Model: *c.model, Strategy: strat,
 		Seed: *c.seed, Tracing: *traceOut != "",
 	}
+	if err := c.applyDeadline(&spec); err != nil {
+		return err
+	}
 	if gObs || gTimelineOut != "" {
 		spec.Obs = &obs.Options{Timeline: gTimelineOut != "", Reg: obsRegistry()}
 	}
@@ -198,10 +222,14 @@ func cmdBaseline(args []string) error {
 	if err != nil {
 		return err
 	}
-	times, _, err := repro.RunSeriesExec(context.Background(), newExec(), repro.Spec{
+	spec := repro.Spec{
 		Platform: p, Workload: w, Model: *c.model, Strategy: strat,
 		Seed: *c.seed, Tracing: true,
-	}, *reps)
+	}
+	if err := c.applyDeadline(&spec); err != nil {
+		return err
+	}
+	times, _, err := repro.RunSeriesExec(context.Background(), newExec(), spec, *reps)
 	if err != nil {
 		return err
 	}
@@ -285,10 +313,14 @@ func cmdInject(args []string) error {
 			fmt.Printf("injector-%d: %d events\n", ce.CPU, len(ce.Events))
 		}
 	}
-	times, _, err := repro.RunSeriesExec(context.Background(), newExec(), repro.Spec{
+	spec := repro.Spec{
 		Platform: p, Workload: w, Model: *c.model, Strategy: strat,
 		Seed: *c.seed, Inject: cfg,
-	}, *reps)
+	}
+	if err := c.applyDeadline(&spec); err != nil {
+		return err
+	}
+	times, _, err := repro.RunSeriesExec(context.Background(), newExec(), spec, *reps)
 	if err != nil {
 		return err
 	}

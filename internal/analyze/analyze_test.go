@@ -148,7 +148,7 @@ func TestFormatFactor(t *testing.T) {
 func TestRegionCategoryMapping(t *testing.T) {
 	want := map[string]string{
 		"workload": "compute", "barrier": "barrier", "irq_noise": "irq",
-		"softirq_noise": "softirq", "os": "os", "noise": "noise",
+		"softirq_noise": "softirq", "os": "os", "noise": "noise", "io": "io",
 		"injector": "noise", "thread_noise": "noise", "sched": "", "": "",
 	}
 	for cat, region := range want {

@@ -128,8 +128,9 @@ func buildPoint(factor float64, seed uint64, times []sim.Time, rec *obs.Recorder
 }
 
 // regionCategory maps a timeline span category to an analysis region:
-// workload compute, barrier waits, hard/soft interrupt handlers, OS
-// housekeeping, and noise threads (natural noise + injected replay).
+// workload compute, barrier waits, blocked-on-device I/O waits, hard/soft
+// interrupt handlers, OS housekeeping, and noise threads (natural noise +
+// injected replay).
 // Scheduler-internal instants and unknown categories fall outside every
 // region.
 func regionCategory(cat string) string {
@@ -144,6 +145,8 @@ func regionCategory(cat string) string {
 		return "softirq"
 	case "os":
 		return "os"
+	case "io":
+		return "io"
 	case "noise", "injector", "thread_noise":
 		return "noise"
 	}

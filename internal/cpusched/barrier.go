@@ -102,9 +102,13 @@ func (s *Scheduler) barrierArrive(t *Task, b *Barrier, spin bool) bool {
 		switch {
 		case w.state == StateRunning && w.seg.kind == segSpin:
 			sc.spinners = append(sc.spinners, w)
-		case w.state == StateRunnable && w.seg.kind == segSpin:
-			// Preempted while spinning: clear the spin; it fetches its
-			// next request when dispatched again.
+		case (w.state == StateRunnable || w.state == StateThrottled) && w.seg.kind == segSpin:
+			// Preempted — or CBS-throttled — while spinning: clear the spin
+			// so the task fetches its next request when dispatched (or woken
+			// by budget replenishment) again. Leaving the segment in place
+			// would resume an infinite spin at a barrier that no longer
+			// exists: the task would burn its budget, throttle, replenish,
+			// and spin again forever.
 			w.seg = segment{kind: segNone}
 			w.remaining = 0
 		case w.state == StateBlocked:

@@ -1,0 +1,115 @@
+package cpusched
+
+// SCHED_DEADLINE: an EDF class with CBS-style budget enforcement, above
+// FIFO and fair in the class hierarchy. Each deadline task reserves
+// DLRuntime of CPU per DLPeriod; dispatch order among deadline tasks is
+// earliest absolute deadline first. The CBS rules keep a misbehaving task
+// inside its reservation:
+//
+//   - while running, the task consumes budget at wall-occupancy rate;
+//   - when the budget is exhausted before the deadline, the task is
+//     throttled (off the run queues) until the deadline, where the budget
+//     replenishes to DLRuntime and the deadline advances by DLPeriod;
+//   - on wakeup, the pair (deadline, budget) is reused only if the
+//     remaining bandwidth budget/(deadline-now) does not exceed the
+//     reserved bandwidth DLRuntime/DLPeriod; otherwise both reset
+//     (deadline = now+DLPeriod, budget = DLRuntime), so sleeping cannot
+//     bank budget at an old, urgent deadline.
+//
+// This is the standard hard-CBS simplification of Linux's SCHED_DEADLINE:
+// no GRUB reclaiming, no deadline update while running past the deadline
+// with leftover budget (such a task just competes with its stale — hence
+// late — deadline until it blocks or exhausts its budget).
+
+// dlLess orders deadline-class tasks: earliest absolute deadline first,
+// enqueue sequence as the deterministic tie-break.
+func dlLess(a, b *Task) bool {
+	if a.dlDeadline != b.dlDeadline {
+		return a.dlDeadline < b.dlDeadline
+	}
+	return a.enqueueSeq < b.enqueueSeq
+}
+
+// cbsWake applies the CBS wakeup rule before a deadline task is placed on a
+// run queue. Float comparison avoids overflow on pathological spans.
+func (s *Scheduler) cbsWake(t *Task) {
+	now := s.eng.Now()
+	if t.dlDeadline <= now ||
+		float64(t.dlBudget)*float64(t.dlPeriod) > float64(t.dlDeadline-now)*float64(t.dlRuntime) {
+		t.dlDeadline = now + t.dlPeriod
+		t.dlBudget = t.dlRuntime
+	}
+}
+
+// startDLWatch arms the budget-exhaustion timer for a deadline task that
+// was just dispatched (or started a new segment). Budget is wall occupancy,
+// so the timer fires exactly when the remaining budget is consumed unless
+// the task leaves the CPU first (undispatch cancels it).
+func (s *Scheduler) startDLWatch(c *cpuState, t *Task) {
+	if t.policy != PolicyDeadline {
+		return
+	}
+	if t.dlBudgetTimer != nil {
+		t.dlBudgetTimer.Cancel()
+		t.dlBudgetTimer = nil
+	}
+	if t.dlBudget <= 0 {
+		s.dlThrottle(t)
+		return
+	}
+	t.dlBudgetTimer = s.eng.After(t.dlBudget, t.dlBudgetFn)
+}
+
+// dlBudgetFire handles budget-timer expiry.
+func (s *Scheduler) dlBudgetFire(t *Task) {
+	t.dlBudgetTimer = nil
+	if t.state != StateRunning {
+		return // stale: the task left the CPU at this same instant
+	}
+	s.account(t)
+	if t.dlBudget > 0 {
+		// Not actually exhausted (account runs at most once per instant;
+		// an earlier account this instant shortened the charged interval).
+		s.startDLWatch(s.cpus[t.cpu], t)
+		return
+	}
+	s.dlThrottle(t)
+}
+
+// dlThrottle suspends a deadline task whose budget is exhausted until its
+// deadline. The task keeps its in-progress segment; it resumes mid-segment
+// after replenishment exactly like a preempted task.
+func (s *Scheduler) dlThrottle(t *Task) {
+	c := s.cpus[t.cpu]
+	if t.state == StateRunning {
+		t.Preempted++
+		if s.obs != nil {
+			s.obs.Instant(c.id, "dl-throttle", "sched", t.Name, s.eng.Now())
+		}
+		s.undispatch(t, StateThrottled)
+	} else {
+		t.state = StateThrottled
+	}
+	now := s.eng.Now()
+	if t.dlDeadline <= now {
+		s.dlReplenish(t)
+	} else {
+		t.dlReplTimer = s.eng.At(t.dlDeadline, t.dlReplFn)
+	}
+	s.resched(c)
+}
+
+// dlReplenish advances the deadline by one period (skipping past periods if
+// the task was throttled across several), refills the budget, and wakes the
+// task if it was throttled.
+func (s *Scheduler) dlReplenish(t *Task) {
+	now := s.eng.Now()
+	t.dlDeadline += t.dlPeriod
+	for t.dlDeadline <= now {
+		t.dlDeadline += t.dlPeriod
+	}
+	t.dlBudget = t.dlRuntime
+	if t.state == StateThrottled {
+		s.wake(t)
+	}
+}

@@ -1,0 +1,279 @@
+package cpusched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// one CPU, 1 GHz: compute demand == nanoseconds, schedules are exact.
+func newDLSched() (*sim.Engine, *Scheduler) { return newTestSched(1, Options{}) }
+
+func dlSpec(name string, runtime, period sim.Time) TaskSpec {
+	return TaskSpec{Name: name, Policy: PolicyDeadline, DLRuntime: runtime, DLPeriod: period}
+}
+
+// TestEDFOrdersByDeadline: three deadline tasks spawned together at t=0,
+// equal work, periods 300/400/500µs. CBS sets each initial deadline to
+// now+period, so EDF must run them strictly in period order:
+//
+//	A [0,100) done 100µs, B [100,200) done 200µs, C [200,300) done 300µs.
+func TestEDFOrdersByDeadline(t *testing.T) {
+	eng, s := newDLSched()
+	us := sim.Microsecond
+	done := map[string]sim.Time{}
+	spawn := func(name string, period sim.Time) {
+		tk := s.SpawnSeq(dlSpec(name, 150*us, period), ReqCompute(float64(100*us)))
+		tk.OnDone(func() { done[name] = eng.Now() })
+	}
+	// Spawn in reverse period order so FIFO spawn order cannot masquerade
+	// as EDF order.
+	spawn("c", 500*us)
+	spawn("b", 400*us)
+	spawn("a", 300*us)
+	eng.Run()
+
+	want := map[string]sim.Time{"a": 100 * us, "b": 200 * us, "c": 300 * us}
+	for name, w := range want {
+		if done[name] != w {
+			t.Fatalf("task %s done at %d, want %d (all: %v)", name, done[name], w, done)
+		}
+	}
+}
+
+// TestEDFPreemptsLaterDeadline: a long task with a far deadline is preempted
+// by a later-arriving task whose deadline is nearer.
+//
+//	A (work 300µs, period 1000µs) starts at 0, deadline 1000µs.
+//	B (work 50µs, period 300µs) wakes at 100µs, deadline 400µs < 1000µs:
+//	preempts A, runs [100,150). A resumes with 200µs left and finishes at
+//	350µs — its solo time plus exactly B's work. B finishes at 150µs.
+func TestEDFPreemptsLaterDeadline(t *testing.T) {
+	eng, s := newDLSched()
+	us := sim.Microsecond
+	done := map[string]sim.Time{}
+	a := s.SpawnSeq(dlSpec("a", 400*us, 1000*us), ReqCompute(float64(300*us)))
+	a.OnDone(func() { done["a"] = eng.Now() })
+	eng.At(100*us, func() {
+		b := s.SpawnSeq(dlSpec("b", 100*us, 300*us), ReqCompute(float64(50*us)))
+		b.OnDone(func() { done["b"] = eng.Now() })
+	})
+	eng.Run()
+
+	if want := 150 * us; done["b"] != want {
+		t.Fatalf("b done at %d, want %d", done["b"], want)
+	}
+	if want := 350 * us; done["a"] != want {
+		t.Fatalf("a done at %d, want %d", done["a"], want)
+	}
+	if a.Preempted != 1 {
+		t.Fatalf("a preempted %d times, want 1", a.Preempted)
+	}
+}
+
+// TestCBSThrottleAndReplenish: a deadline task wanting 300µs of CPU under a
+// 100µs/500µs reservation runs in 100µs slices at period boundaries:
+//
+//	runs [0,100), throttled until its 500µs deadline, replenished
+//	(deadline 1000µs, budget 100µs), runs [500,600), throttled, runs
+//	[1000,1100) — done at 1100µs. A fair-class task soaks up the gaps
+//	(yielding CPU back on each replenishment), finishing its 1000µs of
+//	work at 1300µs.
+func TestCBSThrottleAndReplenish(t *testing.T) {
+	eng, s := newDLSched()
+	us := sim.Microsecond
+	done := map[string]sim.Time{}
+	d := s.SpawnSeq(dlSpec("dl", 100*us, 500*us), ReqCompute(float64(300*us)))
+	d.OnDone(func() { done["dl"] = eng.Now() })
+	f := s.SpawnSeq(TaskSpec{Name: "fair"}, ReqCompute(float64(1000*us)))
+	f.OnDone(func() { done["fair"] = eng.Now() })
+	eng.Run()
+
+	if want := 1100 * us; done["dl"] != want {
+		t.Fatalf("dl done at %d, want %d", done["dl"], want)
+	}
+	if want := 1300 * us; done["fair"] != want {
+		t.Fatalf("fair done at %d, want %d", done["fair"], want)
+	}
+	// Throttled twice (at 100µs and 600µs), each counted as a preemption.
+	if d.Preempted != 2 {
+		t.Fatalf("dl preempted %d times, want 2", d.Preempted)
+	}
+}
+
+// TestCBSWakeupResetsStaleDeadline: a deadline task that sleeps past its
+// deadline wakes with a fresh (deadline, budget) pair — and that fresh
+// deadline is what EDF compares. After sleeping to 2000µs, the task's new
+// deadline is 2000+period; a competitor with a nearer deadline runs first
+// even though the sleeper's stale deadline (500µs) would have won.
+func TestCBSWakeupResetsStaleDeadline(t *testing.T) {
+	eng, s := newDLSched()
+	us := sim.Microsecond
+	done := map[string]sim.Time{}
+	sleeper := s.SpawnSeq(dlSpec("sleeper", 200*us, 500*us),
+		ReqCompute(float64(10*us)),
+		ReqSleepUntil(2000*us),
+		ReqCompute(float64(100*us)),
+	)
+	sleeper.OnDone(func() { done["sleeper"] = eng.Now() })
+	eng.At(2000*us, func() {
+		// Same instant as the sleeper's wakeup, nearer deadline.
+		rival := s.SpawnSeq(dlSpec("rival", 100*us, 300*us), ReqCompute(float64(100*us)))
+		rival.OnDone(func() { done["rival"] = eng.Now() })
+	})
+	eng.Run()
+
+	if want := 2100 * us; done["rival"] != want {
+		t.Fatalf("rival done at %d, want %d (stale sleeper deadline won EDF?)", done["rival"], want)
+	}
+	if want := 2200 * us; done["sleeper"] != want {
+		t.Fatalf("sleeper done at %d, want %d", done["sleeper"], want)
+	}
+}
+
+// TestDeadlinePreemptsFIFO: the deadline class sits above SCHED_FIFO.
+func TestDeadlinePreemptsFIFO(t *testing.T) {
+	eng, s := newDLSched()
+	us := sim.Microsecond
+	done := map[string]sim.Time{}
+	ff := s.SpawnSeq(TaskSpec{Name: "fifo", Policy: PolicyFIFO, RTPrio: 99},
+		ReqCompute(float64(300*us)))
+	ff.OnDone(func() { done["fifo"] = eng.Now() })
+	eng.At(100*us, func() {
+		d := s.SpawnSeq(dlSpec("dl", 100*us, 1000*us), ReqCompute(float64(50*us)))
+		d.OnDone(func() { done["dl"] = eng.Now() })
+	})
+	eng.Run()
+
+	if want := 150 * us; done["dl"] != want {
+		t.Fatalf("dl done at %d, want %d (did it preempt FIFO?)", done["dl"], want)
+	}
+	if want := 350 * us; done["fifo"] != want {
+		t.Fatalf("fifo done at %d, want %d", done["fifo"], want)
+	}
+}
+
+// TestDeadlineSpecValidation: PolicyDeadline without a sane reservation
+// panics at spawn.
+func TestDeadlineSpecValidation(t *testing.T) {
+	_, s := newDLSched()
+	for _, spec := range []TaskSpec{
+		{Name: "no-params", Policy: PolicyDeadline},
+		{Name: "runtime>period", Policy: PolicyDeadline, DLRuntime: 200, DLPeriod: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("spawn %q: want panic", spec.Name)
+				}
+			}()
+			s.SpawnSeq(spec, ReqCompute(1))
+		}()
+	}
+}
+
+// TestDLSpinBarrierThrottles: entering a spin barrier must arm the CBS
+// budget watch exactly like starting a compute segment. Regression test for
+// a livelock: the spin branch of processRequests skipped startDLWatch, so a
+// deadline task spinning at a barrier ran unwatched — its budget went
+// negative without ever throttling, and lower-class (or equal-deadline)
+// peers on the same CPU starved until the barrier released.
+//
+//	spinner (100µs/500µs) spins at a 2-party barrier from t=0; a fair task
+//	wanting 700µs shares its CPU. The spinner must run in 100µs slices per
+//	period ([0,100), [500,600), ...), leaving the fair task 400µs per
+//	period: fair done mid-window at 900µs, spinner released at 2000µs with
+//	exactly 400µs of CPU. (700µs, not a multiple of 400: a fair completion
+//	on a period boundary would tie with the replenishment event and make
+//	the done timestamp an ordering artifact.) Unfixed, the spinner
+//	monopolizes the CPU for the full 2000µs.
+func TestDLSpinBarrierThrottles(t *testing.T) {
+	eng, s := newTestSched(2, Options{})
+	us := sim.Microsecond
+	b := NewBarrier(2)
+	spinner := s.SpawnSeq(TaskSpec{Name: "spinner", Policy: PolicyDeadline,
+		DLRuntime: 100 * us, DLPeriod: 500 * us, Affinity: machine.SetOf(0)},
+		ReqBarrier(b, true))
+	fair := s.SpawnSeq(TaskSpec{Name: "fair", Affinity: machine.SetOf(0)},
+		ReqCompute(float64(700*us)))
+	var fairDone sim.Time
+	fair.OnDone(func() { fairDone = eng.Now() })
+	s.SpawnSeq(TaskSpec{Name: "late", Affinity: machine.SetOf(1)},
+		ReqSleepUntil(2000*us), ReqBarrier(b, true))
+	eng.Run()
+
+	if !spinner.Done() || !fair.Done() {
+		t.Fatal("tasks did not finish")
+	}
+	if want := 900 * us; fairDone != want {
+		t.Fatalf("fair done at %d, want %d (spinner not throttled?)", fairDone, want)
+	}
+	if want := 400 * us; spinner.CPUTime != want {
+		t.Fatalf("spinner CPU time %d, want %d", spinner.CPUTime, want)
+	}
+}
+
+// TestDLThrottledSpinnerClearedByRelease: a barrier release that lands while
+// a spinning deadline waiter is CBS-throttled must clear its spin segment,
+// exactly as for a preempted spinner. Regression test for a livelock: the
+// throttled state fell through barrierArrive's waiter classification, so the
+// stale spin survived the release and the task resumed spinning at a barrier
+// that no longer existed — burning its budget, throttling, replenishing, and
+// spinning again forever.
+//
+//	spinner (100µs/500µs) spins [0,100), throttles; release lands at 300µs
+//	while it is throttled. Replenishment at 500µs must wake it into its next
+//	request (50µs compute): done at 550µs with 150µs of CPU.
+func TestDLThrottledSpinnerClearedByRelease(t *testing.T) {
+	eng, s := newTestSched(2, Options{})
+	us := sim.Microsecond
+	b := NewBarrier(2)
+	spinner := s.SpawnSeq(TaskSpec{Name: "spinner", Policy: PolicyDeadline,
+		DLRuntime: 100 * us, DLPeriod: 500 * us, Affinity: machine.SetOf(0)},
+		ReqBarrier(b, true), ReqCompute(float64(50*us)))
+	var doneAt sim.Time
+	spinner.OnDone(func() { doneAt = eng.Now() })
+	s.SpawnSeq(TaskSpec{Name: "late", Affinity: machine.SetOf(1)},
+		ReqSleepUntil(300*us), ReqBarrier(b, true))
+	// Bounded run: the unfixed scheduler replenishes and re-spins forever.
+	eng.RunUntil(5 * sim.Millisecond)
+
+	if !spinner.Done() {
+		t.Fatalf("spinner not done by 5ms (stale spin resumed after release?): state=%v", spinner.state)
+	}
+	if want := 550 * us; doneAt != want {
+		t.Fatalf("spinner done at %d, want %d", doneAt, want)
+	}
+	if want := 150 * us; spinner.CPUTime != want {
+		t.Fatalf("spinner CPU time %d, want %d", spinner.CPUTime, want)
+	}
+}
+
+// TestDeadlineBlockOn composes the two tentpole features: a deadline task
+// blocking on a device does not consume budget while blocked, and wakes
+// through the CBS wakeup rule.
+//
+//	work 50µs, block (1000ns latency + 100ns IRQ), work 50µs under a
+//	120µs/10ms reservation: no throttling despite 101.1µs elapsed wait,
+//	because only 100µs of occupancy counts against the budget.
+func TestDeadlineBlockOn(t *testing.T) {
+	eng, s := newDLSched()
+	us := sim.Microsecond
+	dev := s.AddDevice(DeviceSpec{Name: "disk0", Latency: 1000, IRQDur: 100})
+	tk := s.SpawnSeq(dlSpec("dlio", 120*us, 10000*us),
+		ReqCompute(float64(50*us)),
+		ReqBlockOn(dev, 0),
+		ReqCompute(float64(50*us)),
+	)
+	var doneAt sim.Time
+	tk.OnDone(func() { doneAt = eng.Now() })
+	eng.Run()
+
+	if want := 100*us + 1100; doneAt != want {
+		t.Fatalf("done at %d, want %d", doneAt, want)
+	}
+	if tk.Preempted != 0 {
+		t.Fatalf("preempted %d times, want 0 (budget must not drain while blocked)", tk.Preempted)
+	}
+}

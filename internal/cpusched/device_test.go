@@ -1,0 +1,146 @@
+package cpusched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// testTopo builds a 1 GHz topology (1 cycle/ns) so compute demands map 1:1
+// to nanoseconds in hand-computed schedules.
+func testTopo(nCPU int) *machine.Topology {
+	return &machine.Topology{
+		Name:           "unit-1ghz",
+		Cores:          nCPU,
+		ThreadsPerCore: 1,
+		BaseGHz:        1,
+		SMTFactor:      0.6,
+		MemBWGBps:      100,
+		CoreBWGBps:     50,
+	}
+}
+
+func newTestSched(nCPU int, opt Options) (*sim.Engine, *Scheduler) {
+	eng := sim.NewEngine()
+	return eng, New(eng, testTopo(nCPU), opt)
+}
+
+// TestDeviceBlockWake pins the arithmetic of one blocking request: compute,
+// block on a latency+bandwidth device, compute again. The task must be off
+// the CPU during service, wake at the end of the completion handler, and
+// finish at a hand-computed instant.
+func TestDeviceBlockWake(t *testing.T) {
+	eng, s := newTestSched(1, Options{})
+	d := s.AddDevice(DeviceSpec{
+		Name:       "disk0",
+		Latency:    5 * sim.Microsecond,
+		BytesPerNs: 2, // 2 B/ns -> 8000 B = 4000 ns
+		IRQDur:     1 * sim.Microsecond,
+	})
+	tk := s.SpawnSeq(TaskSpec{Name: "io"},
+		ReqCompute(1000),
+		ReqBlockOn(d, 8000),
+		ReqCompute(500),
+	)
+	var doneAt sim.Time
+	tk.OnDone(func() { doneAt = eng.Now() })
+	eng.Run()
+
+	// 1000 compute + (5000 latency + 4000 transfer) service + 1000 IRQ
+	// handler + 500 compute = 11500.
+	if want := sim.Time(11500); doneAt != want {
+		t.Fatalf("done at %d, want %d", doneAt, want)
+	}
+	if d.Requests != 1 {
+		t.Fatalf("device completed %d requests, want 1", d.Requests)
+	}
+	if want := sim.Time(9000); d.BusyTime != want {
+		t.Fatalf("device busy %d, want %d", d.BusyTime, want)
+	}
+	// The CPU was idle during the wait: only the two compute segments (and
+	// no spin) are charged.
+	if want := sim.Time(1500); tk.CPUTime != want {
+		t.Fatalf("task CPU time %d, want %d", tk.CPUTime, want)
+	}
+}
+
+// TestDeviceFIFOQueue checks serial FIFO service: two tasks submitting
+// back-to-back requests complete in submission order, the second delayed by
+// the full service time of the first.
+func TestDeviceFIFOQueue(t *testing.T) {
+	eng, s := newTestSched(2, Options{})
+	d := s.AddDevice(DeviceSpec{Name: "disk0", Latency: 1000, IRQDur: 100})
+
+	var order []string
+	spawn := func(name string, pre float64) {
+		tk := s.SpawnSeq(TaskSpec{Name: name},
+			ReqCompute(pre),
+			ReqBlockOn(d, 0),
+		)
+		tk.OnDone(func() { order = append(order, name) })
+	}
+	spawn("a", 100)
+	spawn("b", 200)
+	eng.Run()
+
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("completion order %v, want [a b]", order)
+	}
+	if d.Requests != 2 {
+		t.Fatalf("device completed %d requests, want 2", d.Requests)
+	}
+}
+
+// TestDeviceWakeDelayedByIRQNoise is the tentpole's causal mechanism in
+// miniature: a pending noise interrupt on the completion CPU queues the
+// completion handler behind it, delaying the blocked task's wakeup by the
+// noise duration. CPU-bound tasks on another CPU would be untouched.
+func TestDeviceWakeDelayedByIRQNoise(t *testing.T) {
+	run := func(noise sim.Time) sim.Time {
+		eng, s := newTestSched(1, Options{})
+		d := s.AddDevice(DeviceSpec{Name: "nvme0", Latency: 1000, IRQDur: 100})
+		tk := s.SpawnSeq(TaskSpec{Name: "io"}, ReqBlockOn(d, 0))
+		var doneAt sim.Time
+		tk.OnDone(func() { doneAt = eng.Now() })
+		if noise > 0 {
+			// Noise interrupt raised just before the completion fires.
+			eng.At(999, func() { s.InjectIRQ(0, ClassIRQ, "local_timer", noise) })
+		}
+		eng.Run()
+		return doneAt
+	}
+	quiet := run(0)
+	noisy := run(5000)
+	// The completion at t=1000 queues behind the noise handler running
+	// [999, 5999); the wakeup slips by the remaining noise time.
+	if got, want := noisy-quiet, sim.Time(4999); got != want {
+		t.Fatalf("wakeup delayed by %d under IRQ noise, want %d (quiet=%d noisy=%d)",
+			got, want, quiet, noisy)
+	}
+}
+
+// TestDeviceKillDropsWakeup kills a blocked task mid-flight: service still
+// completes (the queue must stay in order for later requests), but no
+// wakeup is delivered and the run terminates cleanly.
+func TestDeviceKillDropsWakeup(t *testing.T) {
+	eng, s := newTestSched(1, Options{})
+	d := s.AddDevice(DeviceSpec{Name: "disk0", Latency: 1000, IRQDur: 100})
+	victim := s.SpawnSeq(TaskSpec{Name: "victim"}, ReqBlockOn(d, 0))
+	other := s.SpawnSeq(TaskSpec{Name: "other"},
+		ReqCompute(10),
+		ReqBlockOn(d, 0),
+	)
+	eng.At(500, func() { s.Kill(victim) })
+	eng.Run()
+
+	if victim.State() != StateDone {
+		t.Fatalf("victim state %v, want done", victim.State())
+	}
+	if other.State() != StateDone {
+		t.Fatalf("other state %v, want done (its request must still be served)", other.State())
+	}
+	if d.Requests != 2 {
+		t.Fatalf("device completed %d requests, want 2 (killed request still serviced)", d.Requests)
+	}
+}

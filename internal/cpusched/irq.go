@@ -20,10 +20,13 @@ func (s *Scheduler) InjectIRQ(cpu int, class NoiseClass, source string, dur sim.
 		c.irqQ = append(c.irqQ, pendingIRQ{class: class, source: source, dur: dur})
 		return
 	}
-	s.startIRQ(c, class, source, dur)
+	s.startIRQ(c, class, source, dur, nil)
 }
 
-func (s *Scheduler) startIRQ(c *cpuState, class NoiseClass, source string, dur sim.Time) {
+// startIRQ enters interrupt context on c. wake, when non-nil, is the
+// device-blocked task this completion interrupt wakes when its handler
+// ends (see device.go); plain noise interrupts pass nil.
+func (s *Scheduler) startIRQ(c *cpuState, class NoiseClass, source string, dur sim.Time, wake *Task) {
 	// The tracer runs in interrupt context: recording the event extends
 	// the interrupt by the tracing overhead (this is the dominant part of
 	// Table 1's measured overhead, since timer interrupts dominate event
@@ -35,6 +38,7 @@ func (s *Scheduler) startIRQ(c *cpuState, class NoiseClass, source string, dur s
 	c.irqStart = s.eng.Now()
 	c.irqClass = class
 	c.irqSource = source
+	c.irqWake = wake
 	if c.curr != nil {
 		s.refresh(c.curr) // rate drops to 0 while the interrupt runs
 	}
@@ -55,10 +59,18 @@ func (s *Scheduler) endIRQ(c *cpuState) {
 	if s.tracer != nil {
 		s.tracer.IRQRan(c.id, class, source, start, s.eng.Now())
 	}
+	// A device-completion handler wakes its blocked task as its last act:
+	// the wakeup (and any dispatch it causes) happens at handler end, after
+	// the interrupt's span was recorded, but before any queued interrupt
+	// re-enters interrupt context on this CPU.
+	if w := c.irqWake; w != nil {
+		c.irqWake = nil
+		s.wakeFromIO(w)
+	}
 	if c.irqHead < len(c.irqQ) {
 		next := c.irqQ[c.irqHead]
 		c.irqHead++
-		s.startIRQ(c, next.class, next.source, next.dur)
+		s.startIRQ(c, next.class, next.source, next.dur, next.wake)
 		// Tracing overhead applies once the CPU is interruptible again.
 		return
 	}

@@ -24,6 +24,11 @@ const (
 	// PolicyFIFO is the real-time first-in-first-out class: it always
 	// preempts PolicyOther and is never preempted by it.
 	PolicyFIFO
+	// PolicyDeadline is the EDF class with CBS budget enforcement (see
+	// deadline.go). It sits above FIFO: a runnable deadline task preempts
+	// both other classes, and deadline tasks order among themselves by
+	// earliest absolute deadline.
+	PolicyDeadline
 )
 
 func (p Policy) String() string {
@@ -32,6 +37,8 @@ func (p Policy) String() string {
 		return "SCHED_OTHER"
 	case PolicyFIFO:
 		return "SCHED_FIFO"
+	case PolicyDeadline:
+		return "SCHED_DEADLINE"
 	default:
 		return "SCHED_?"
 	}

@@ -58,11 +58,15 @@ type pendingIRQ struct {
 	class  NoiseClass
 	source string
 	dur    sim.Time
+	// wake, when non-nil, is a task blocked on a device request that this
+	// (completion) interrupt wakes at the end of its handler.
+	wake *Task
 }
 
 type cpuState struct {
 	id   int
 	curr *Task
+	dl   taskQueue // runnable deadline tasks, keyed (deadline, enqueueSeq)
 	fifo taskQueue // runnable FIFO tasks, keyed (rtprio desc, enqueueSeq)
 	fair taskQueue // runnable fair tasks, keyed (vruntime, enqueueSeq)
 
@@ -76,6 +80,9 @@ type cpuState struct {
 	irqClass  NoiseClass
 	irqSource string
 	irqEndFn  func()
+	// irqWake is the device-blocked task the in-flight completion
+	// interrupt wakes when its handler ends (nil for plain noise IRQs).
+	irqWake *Task
 	// irqQ is the pending-interrupt queue: appended at the tail, consumed
 	// via irqHead so the backing array survives each burst intact.
 	irqQ    []pendingIRQ
@@ -97,7 +104,7 @@ type cpuState struct {
 	throttleTimer *sim.Timer
 }
 
-func (c *cpuState) queued() int { return c.fifo.len() + c.fair.len() }
+func (c *cpuState) queued() int { return c.dl.len() + c.fifo.len() + c.fair.len() }
 
 func (c *cpuState) idle() bool { return c.curr == nil && c.queued() == 0 }
 
@@ -108,6 +115,10 @@ type Scheduler struct {
 	opt   Options
 	cpus  []*cpuState
 	tasks []*Task
+
+	// devices are the registered I/O devices, by name. Per-rep state:
+	// Fork clears the map (batched reps re-register in their body).
+	devices map[string]*Device
 
 	tracer Hook
 	// obs is the passive observability recorder. Unlike the tracer it
@@ -169,6 +180,7 @@ func New(eng *sim.Engine, topo *machine.Topology, opt Options) *Scheduler {
 	s.cpus = make([]*cpuState, n)
 	for i := range s.cpus {
 		c := &cpuState{id: i}
+		c.dl.less = dlLess
 		c.fifo.less = fifoLess
 		c.fair.less = fairLess
 		c.sliceFn = func() { s.sliceExpire(c) }
@@ -292,6 +304,11 @@ func (s *Scheduler) SpawnSeq(spec TaskSpec, reqs ...Request) *Task {
 
 // newTask builds the task record shared by both execution paths.
 func (s *Scheduler) newTask(spec TaskSpec) *Task {
+	if spec.Policy == PolicyDeadline &&
+		(spec.DLRuntime <= 0 || spec.DLPeriod < spec.DLRuntime) {
+		panic(fmt.Sprintf("cpusched: task %q: SCHED_DEADLINE needs 0 < DLRuntime <= DLPeriod (got runtime=%d period=%d)",
+			spec.Name, spec.DLRuntime, spec.DLPeriod))
+	}
 	aff := spec.Affinity.And(machine.AllCPUs(s.topo.NumCPUs()))
 	if aff.Empty() {
 		aff = machine.AllCPUs(s.topo.NumCPUs())
@@ -315,6 +332,11 @@ func (s *Scheduler) newTask(spec TaskSpec) *Task {
 			t.wakeTimer = nil
 			s.wake(t)
 		}
+		t.dlBudgetFn = func() { s.dlBudgetFire(t) }
+		t.dlReplFn = func() {
+			t.dlReplTimer = nil
+			s.dlReplenish(t)
+		}
 		s.TaskAllocs++
 	}
 	t.ID = s.nextID
@@ -324,6 +346,8 @@ func (s *Scheduler) newTask(spec TaskSpec) *Task {
 	t.policy = spec.Policy
 	t.rtprio = spec.RTPrio
 	t.nice = spec.Nice
+	t.dlRuntime = spec.DLRuntime
+	t.dlPeriod = spec.DLPeriod
 	t.affinity = aff
 	t.state = StateNew
 	t.cpu = -1
@@ -351,6 +375,10 @@ func (s *Scheduler) Kill(t *Task) {
 	if t.bar != nil {
 		t.bar.drop(t)
 		t.bar = nil
+	}
+	if t.dev != nil {
+		t.dev.drop(t)
+		t.dev = nil
 	}
 	if t.state == StateRunning {
 		s.undispatch(t, StateDone)
@@ -473,10 +501,15 @@ func (s *Scheduler) account(t *Task) {
 		if t.cpu >= 0 && int(t.Kind) < 4 {
 			s.kindTime[t.cpu][t.Kind] += el
 		}
-		if t.policy == PolicyOther {
+		switch t.policy {
+		case PolicyOther:
 			t.vruntime += float64(el) * 1024 / t.weight()
-		} else if s.opt.RTThrottle {
-			s.cpus[t.cpu].rtUsed += el
+		case PolicyDeadline:
+			t.dlBudget -= el
+		case PolicyFIFO:
+			if s.opt.RTThrottle {
+				s.cpus[t.cpu].rtUsed += el
+			}
 		}
 	}
 	t.lastAccount = now
@@ -517,6 +550,14 @@ func (s *Scheduler) cancelTimers(t *Task) {
 		t.wakeTimer.Cancel()
 		t.wakeTimer = nil
 	}
+	if t.dlBudgetTimer != nil {
+		t.dlBudgetTimer.Cancel()
+		t.dlBudgetTimer = nil
+	}
+	if t.dlReplTimer != nil {
+		t.dlReplTimer.Cancel()
+		t.dlReplTimer = nil
+	}
 }
 
 func (s *Scheduler) setStreamActive(t *Task, active bool) {
@@ -547,7 +588,7 @@ func (s *Scheduler) removeQueued(t *Task) {
 		return
 	}
 	c := s.cpus[t.cpu]
-	if !c.fifo.remove(t) {
+	if !c.dl.remove(t) && !c.fifo.remove(t) {
 		c.fair.remove(t)
 	}
 }
@@ -602,6 +643,11 @@ func (s *Scheduler) selectCPU(t *Task) *cpuState {
 
 // wake makes a task runnable and places it on a CPU.
 func (s *Scheduler) wake(t *Task) {
+	if t.policy == PolicyDeadline && t.state != StateThrottled {
+		// Throttled tasks woke through replenishment, which already set
+		// their (deadline, budget); every other wakeup passes the CBS rule.
+		s.cbsWake(t)
+	}
 	c := s.selectCPU(t)
 	s.enqueue(c, t)
 }
@@ -613,9 +659,12 @@ func (s *Scheduler) enqueue(c *cpuState, t *Task) {
 	t.enqueueSeq = s.seq
 	s.arrival++
 	t.arrivalSeq = s.arrival
-	if t.policy == PolicyFIFO {
+	switch t.policy {
+	case PolicyDeadline:
+		c.dl.push(t)
+	case PolicyFIFO:
 		c.fifo.push(t)
-	} else {
+	default:
 		if t.vruntime < c.minVruntime {
 			t.vruntime = c.minVruntime
 		}
@@ -647,14 +696,26 @@ func (s *Scheduler) requeue(c *cpuState, t *Task) {
 	t.state = StateRunnable
 	s.arrival++
 	t.arrivalSeq = s.arrival
-	if t.policy == PolicyFIFO {
+	switch t.policy {
+	case PolicyDeadline:
+		c.dl.push(t)
+	case PolicyFIFO:
 		c.fifo.push(t)
-	} else {
+	default:
 		c.fair.push(t)
 	}
 }
 
 func (s *Scheduler) shouldPreempt(c *cpuState, newT, curr *Task) bool {
+	if newT.policy == PolicyDeadline {
+		if curr.policy != PolicyDeadline {
+			return true
+		}
+		return newT.dlDeadline < curr.dlDeadline
+	}
+	if curr.policy == PolicyDeadline {
+		return false
+	}
 	if newT.policy == PolicyFIFO {
 		if c.rtThrottled {
 			return false
@@ -676,6 +737,11 @@ func (s *Scheduler) shouldPreempt(c *cpuState, newT, curr *Task) bool {
 // heap keys reproduce the exact selection of the previous linear scans:
 // FIFO by (rtprio desc, enqueueSeq), fair by (vruntime, enqueueSeq).
 func (s *Scheduler) pickNext(c *cpuState) *Task {
+	// Deadline class first: EDF sits above RT, and RT throttling does not
+	// gate it (CBS throttles each deadline task individually).
+	if c.dl.len() > 0 {
+		return c.dl.pop()
+	}
 	if c.fifo.len() > 0 && !c.rtThrottled {
 		return c.fifo.pop()
 	}
@@ -731,7 +797,10 @@ func (s *Scheduler) dispatch(c *cpuState, t *Task) bool {
 	s.refresh(t)
 	s.armSlice(c)
 	s.startThrottleWatch(c, t)
-	return true
+	// A deadline task re-dispatched with an exhausted budget throttles
+	// here instead of running, releasing the CPU again.
+	s.startDLWatch(c, t)
+	return s.cpus[c.id].curr == t
 }
 
 // undispatch removes the running task from its CPU, accounting and tracing
@@ -806,6 +875,7 @@ func (s *Scheduler) processRequests(t *Task) {
 			s.refresh(t)
 			s.armSlice(c)
 			s.startThrottleWatch(c, t)
+			s.startDLWatch(c, t)
 			return
 		case reqSleepUntil:
 			now := s.eng.Now()
@@ -827,10 +897,31 @@ func (s *Scheduler) processRequests(t *Task) {
 				t.lastAccount = s.eng.Now()
 				s.refresh(t)
 				s.armSlice(c)
+				// Spinning consumes budget like any other segment. Without
+				// these a deadline task that re-enters a spin barrier after a
+				// release (barrierArrive cancels its timers before resuming
+				// it) runs unwatched: its budget goes negative without ever
+				// throttling, and an equal-deadline Runnable peer on the same
+				// CPU starves forever — EDF does not preempt on ties.
+				s.startThrottleWatch(c, t)
+				s.startDLWatch(c, t)
 				return
 			}
 			t.seg = segment{kind: segNone}
 			s.undispatch(t, StateBlocked)
+			s.resched(c)
+			return
+		case reqBlockOn:
+			if req.dev == nil {
+				panic(fmt.Sprintf("cpusched: task %q BlockOn nil device (not registered?)", t.Name))
+			}
+			t.seg = segment{kind: segNone}
+			if s.obs != nil {
+				t.ioArrive = s.eng.Now()
+				s.obs.Instant(c.id, "io-submit", "io", req.dev.spec.Name+" "+t.Name, s.eng.Now())
+			}
+			s.undispatch(t, StateBlockedIO)
+			req.dev.submit(t, req.demand)
 			s.resched(c)
 			return
 		case reqSetPolicy:
@@ -872,8 +963,14 @@ func (s *Scheduler) processRequests(t *Task) {
 }
 
 // applyPolicy changes a running task's class, re-evaluating preemption when
-// it downgrades from FIFO while other FIFO tasks wait.
+// it downgrades from FIFO while other FIFO tasks wait. The deadline class
+// cannot be entered this way: its CBS parameters are part of the TaskSpec,
+// so SCHED_DEADLINE is assigned at spawn only (as sched_setattr would
+// reject a setattr without a reservation).
 func (s *Scheduler) applyPolicy(t *Task, p Policy, rtprio int) {
+	if p == PolicyDeadline || t.policy == PolicyDeadline {
+		panic(fmt.Sprintf("cpusched: task %q: SCHED_DEADLINE is assigned at spawn, not via SetPolicy", t.Name))
+	}
 	s.account(t)
 	t.policy = p
 	t.rtprio = rtprio

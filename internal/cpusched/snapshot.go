@@ -58,6 +58,7 @@ func (s *Scheduler) Fork(Snapshot) {
 	s.tasks = s.tasks[:0]
 	for _, c := range s.cpus {
 		c.curr = nil
+		c.dl.reset()
 		c.fifo.reset()
 		c.fair.reset()
 		c.minVruntime = 0
@@ -65,6 +66,12 @@ func (s *Scheduler) Fork(Snapshot) {
 		c.irqStart = 0
 		c.irqClass = 0
 		c.irqSource = ""
+		c.irqWake = nil
+		// Clear the consumed queue's stale payloads (sources, wake
+		// pointers) so recycled tasks are not pinned by the backing array.
+		for i := range c.irqQ {
+			c.irqQ[i] = pendingIRQ{}
+		}
 		c.irqQ = c.irqQ[:0]
 		c.irqHead = 0
 		c.pendingSteal = 0
@@ -83,6 +90,12 @@ func (s *Scheduler) Fork(Snapshot) {
 			c.throttleTimer = nil
 		}
 	}
+	// Devices are per-rep state: each batched rep re-registers its own in
+	// its body, exactly as it re-spawns its tasks. Their pending service
+	// timers need no cancellation here — drop() already suppressed the
+	// wakeups during the kill cascade, and the engine fork that must follow
+	// recycles the timers wholesale.
+	clear(s.devices)
 	for i := range s.kindTime {
 		s.kindTime[i] = [4]sim.Time{}
 	}

@@ -21,6 +21,12 @@ const (
 	StateSleeping
 	// StateBlocked means the task waits on a barrier.
 	StateBlocked
+	// StateBlockedIO means the task waits on a device request; the
+	// device's completion interrupt wakes it (see device.go).
+	StateBlockedIO
+	// StateThrottled means a deadline-class task exhausted its CBS budget
+	// and waits for replenishment at its deadline (see deadline.go).
+	StateThrottled
 	// StateDone means the task body returned or the task was killed.
 	StateDone
 )
@@ -44,14 +50,16 @@ const (
 	reqBarrier
 	reqSetPolicy
 	reqYield
+	reqBlockOn // block on a device request until its completion IRQ
 	reqDone
 )
 
 type request struct {
 	kind   reqKind
-	demand float64  // cycles or bytes
+	demand float64  // cycles or bytes (reqBlockOn: request size in bytes)
 	until  sim.Time // reqSleepUntil; duration for reqSleepFor
 	bar    *Barrier // reqBarrier
+	dev    *Device  // reqBlockOn
 	spin   bool     // reqBarrier: spin instead of blocking
 	policy Policy   // reqSetPolicy
 	rtprio int      // reqSetPolicy
@@ -102,6 +110,14 @@ func ReqSetPolicy(p Policy, rtprio, nice int) Request {
 // ReqYield is the Program counterpart of Ctx.Yield.
 func ReqYield() Request {
 	return Request{request{kind: reqYield}}
+}
+
+// ReqBlockOn is the Program counterpart of Ctx.BlockOn: the task blocks on
+// a request of the given size to the device until the device's completion
+// interrupt wakes it. The device must be registered on the scheduler
+// (AddDevice) before the request is processed.
+func ReqBlockOn(d *Device, bytes float64) Request {
+	return Request{request{kind: reqBlockOn, dev: d, demand: bytes}}
 }
 
 // Program is the inline task-execution path: a resumable body that yields
@@ -174,6 +190,11 @@ type TaskSpec struct {
 	RTPrio int
 	// Nice is the fair-class niceness (-20..19, lower = heavier weight).
 	Nice int
+	// DLRuntime/DLPeriod are the PolicyDeadline CBS reservation: DLRuntime
+	// of CPU per DLPeriod, with the (implicit) relative deadline equal to
+	// the period. Required for PolicyDeadline, ignored otherwise.
+	DLRuntime sim.Time
+	DLPeriod  sim.Time
 	// Affinity restricts the task to a CPU set; the zero value means all
 	// CPUs of the machine.
 	Affinity machine.CPUSet
@@ -236,6 +257,24 @@ type Task struct {
 	// barArrive is the simulated instant the task arrived at bar, recorded
 	// only while an obs recorder is attached (it feeds barrier-wait spans).
 	barArrive sim.Time
+	// dev is the device the task is blocked on (StateBlockedIO); ioArrive
+	// is the submission instant, recorded only while an obs recorder is
+	// attached (it feeds io-wait spans).
+	dev      *Device
+	ioArrive sim.Time
+
+	// SCHED_DEADLINE (CBS) state: the static reservation, the current
+	// absolute deadline and remaining budget, the budget-exhaustion and
+	// replenishment timers, and their callbacks (bound once at allocation,
+	// like segDoneFn/wakeFn).
+	dlRuntime     sim.Time
+	dlPeriod      sim.Time
+	dlDeadline    sim.Time
+	dlBudget      sim.Time
+	dlBudgetTimer *sim.Timer
+	dlReplTimer   *sim.Timer
+	dlBudgetFn    func()
+	dlReplFn      func()
 	// pendingReq holds a fetched-but-unprocessed request when the task
 	// lost its CPU mid-processing (e.g. preempted by a task woken from a
 	// barrier it just released); it is consumed at the next dispatch.
@@ -259,10 +298,13 @@ type Task struct {
 // have after newTask's common field assignments.
 func (t *Task) recycle() {
 	sched, segDone, wake := t.sched, t.segDoneFn, t.wakeFn
+	dlBudget, dlRepl := t.dlBudgetFn, t.dlReplFn
 	*t = Task{
 		sched:      sched,
 		segDoneFn:  segDone,
 		wakeFn:     wake,
+		dlBudgetFn: dlBudget,
+		dlReplFn:   dlRepl,
 		cpu:        -1,
 		lastRunCPU: -1,
 		qIndex:     -1,
@@ -358,6 +400,14 @@ func (c *Ctx) Sleep(d sim.Time) { c.SleepUntil(c.Now() + d) }
 // releases the CPU.
 func (c *Ctx) Barrier(b *Barrier, spin bool) {
 	c.t.send(request{kind: reqBarrier, bar: b, spin: spin})
+}
+
+// BlockOn submits a request of the given size to the device and blocks
+// (releasing the CPU) until the device's completion interrupt wakes the
+// task. Unlike Compute/Memory, a zero-byte request still blocks: the device
+// charges its fixed latency (an fsync barrier is exactly that).
+func (c *Ctx) BlockOn(d *Device, bytes float64) {
+	c.t.send(request{kind: reqBlockOn, dev: d, demand: bytes})
 }
 
 // SetPolicy switches the task's scheduling class; takes no simulated time.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/syclrt"
 	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
 // BatchPolicy selects whether a series runs its reps through pooled batch
@@ -230,6 +231,15 @@ func (w *world) body(spec Spec, plan *mitigate.Plan) (Result, error) {
 		replayer = r
 	}
 
+	// I/O workloads declare the devices they block on; register them before
+	// the runtime starts. Devices are per-rep state: the end-of-run fork
+	// clears the registry, so a pooled world re-registers every rep.
+	if iow, ok := spec.Workload.(workloads.IOWorkload); ok {
+		for _, d := range iow.Devices() {
+			sched.AddDevice(d)
+		}
+	}
+
 	var done *cpusched.Task
 	switch spec.Model {
 	case "omp":
@@ -237,12 +247,22 @@ func (w *world) body(spec Spec, plan *mitigate.Plan) (Result, error) {
 		if spec.OMP != nil {
 			cfg = *spec.OMP
 		}
+		if spec.DLRuntime > 0 {
+			cfg.Policy = cpusched.PolicyDeadline
+			cfg.DLRuntime = spec.DLRuntime
+			cfg.DLPeriod = spec.DLPeriod
+		}
 		team := omprt.Start(sched, plan, cfg, spec.Workload.Body())
 		done = team.Master()
 	case "sycl":
 		cfg := syclrt.DefaultConfig()
 		if spec.SYCL != nil {
 			cfg = *spec.SYCL
+		}
+		if spec.DLRuntime > 0 {
+			cfg.Policy = cpusched.PolicyDeadline
+			cfg.DLRuntime = spec.DLRuntime
+			cfg.DLPeriod = spec.DLPeriod
 		}
 		q := syclrt.Start(sched, plan, cfg, spec.Workload.Body())
 		done = q.Host()

@@ -29,6 +29,13 @@ func seedAt(base uint64, i int) uint64 { return base + uint64(i)*seedStride }
 // [off, off+n) of the series starting at base — the property the fleet's
 // rep splitter uses to fan one job's repetitions across backends and merge
 // the index-addressed slices byte-identically.
+//
+// Arithmetic is modulo 2^64 by design: a base near MaxUint64 wraps, and the
+// wrapped value is the contract — every backend computes the same uint64,
+// so a fleet split still reassembles byte-identically. Because the stride
+// is odd (hence invertible mod 2^64), i ↦ SeedAt(base, i) is injective over
+// any window of fewer than 2^64 reps: no two reps of a series ever collide
+// on a seed, wrapped or not. FuzzSeedAt pins both properties.
 func SeedAt(base uint64, i int) uint64 { return seedAt(base, i) }
 
 // ProgressFunc receives completion updates from a running study: done of

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/mitigate"
@@ -8,6 +9,50 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// FuzzSeedAt pins the seed-derivation contract the fleet splitter depends
+// on, including at the wrap boundary: arithmetic is modulo 2^64, the
+// composition SeedAt(SeedAt(base, off), j) == SeedAt(base, off+j) holds
+// wrapped or not, and because the stride is odd no two rep indices in a
+// window ever share a seed.
+func FuzzSeedAt(f *testing.F) {
+	f.Add(uint64(0), uint16(0), uint8(4))
+	f.Add(uint64(7), uint16(3), uint8(9))
+	f.Add(uint64(math.MaxUint64), uint16(1), uint8(8))
+	f.Add(uint64(math.MaxUint64)-seedStride, uint16(2), uint8(5))
+	f.Add(uint64(math.MaxUint64)-3*seedStride+1, uint16(200), uint8(16))
+	f.Fuzz(func(t *testing.T, base uint64, off uint16, n uint8) {
+		if SeedAt(base, 0) != base {
+			t.Fatalf("SeedAt(%d, 0) = %d", base, SeedAt(base, 0))
+		}
+		// Stride law under wrapping: each step adds exactly the stride
+		// modulo 2^64.
+		for i := 0; i < int(n); i++ {
+			if got, want := SeedAt(base, i+1), SeedAt(base, i)+seedStride; got != want {
+				t.Fatalf("step %d: SeedAt = %d, want %d", i+1, got, want)
+			}
+		}
+		// Split/merge composition: a sub-series starting at the off-th seed
+		// reproduces reps [off, off+n) of the parent series.
+		sub := SeedAt(base, int(off))
+		for j := 0; j < int(n); j++ {
+			if got, want := SeedAt(sub, j), SeedAt(base, int(off)+j); got != want {
+				t.Fatalf("composition: SeedAt(SeedAt(base,%d),%d) = %d, want %d",
+					off, j, got, want)
+			}
+		}
+		// Injectivity in a window: the stride is odd, so distinct indices
+		// map to distinct seeds even when the values wrap.
+		seen := make(map[uint64]int, n)
+		for i := 0; i < int(n); i++ {
+			s := SeedAt(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: reps %d and %d both get %d", prev, i, s)
+			}
+			seen[s] = i
+		}
+	})
+}
 
 // FuzzBatchEqualsFresh fuzzes the snapshot/fork contract: for a random
 // small spec, a rep executed in a world warmed by a different-seed rep must

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mitigate"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -42,6 +43,10 @@ type goldenCase struct {
 	Throttle bool // enable RT throttling (fail-safe path coverage)
 	Reps     int
 	Seed     uint64
+	// DLRuntimeNs/DLPeriodNs run workload threads under SCHED_DEADLINE
+	// with this CBS reservation (0 = fair class).
+	DLRuntimeNs int64
+	DLPeriodNs  int64
 }
 
 func goldenCases() []goldenCase {
@@ -68,6 +73,24 @@ func goldenCases() []goldenCase {
 			Model: "omp", Strategy: "RmHK", Tracing: true, Reps: 2, Seed: 23},
 		{Name: "a64fx-schedbench-omp-rm", Platform: "a64fx-noreserve", Workload: "schedbench",
 			Model: "omp", Strategy: "Rm", Reps: 1, Seed: 24},
+		// I/O-blocking workloads: device wait queues, completion IRQs, and
+		// blocked-task wakeups must be as reproducible as pure compute.
+		{Name: "tiny-svcloop-omp-rm", Platform: "tiny-test", Workload: "svcloop", Small: true,
+			Model: "omp", Strategy: "Rm", Tracing: true, Reps: 3, Seed: 31},
+		{Name: "tiny-svcloop-sycl-rm", Platform: "tiny-test", Workload: "svcloop", Small: true,
+			Model: "sycl", Strategy: "Rm", Reps: 2, Seed: 32},
+		{Name: "tiny-logwriter-omp-inject", Platform: "tiny-test", Workload: "logwriter", Small: true,
+			Model: "omp", Strategy: "Rm", Inject: true, Reps: 2, Seed: 33},
+		{Name: "tiny-logwriter-omp-inject-throttle", Platform: "tiny-test", Workload: "logwriter",
+			Small: true, Model: "omp", Strategy: "Rm", Inject: true, Throttle: true, Reps: 2, Seed: 34},
+		// SCHED_DEADLINE: EDF dispatch, CBS budget timers, and throttle/
+		// replenish cycles across snapshot/fork and executor parallelism.
+		{Name: "tiny-svcloop-omp-deadline", Platform: "tiny-test", Workload: "svcloop", Small: true,
+			Model: "omp", Strategy: "Rm", Tracing: true, Reps: 2, Seed: 35,
+			DLRuntimeNs: 400_000, DLPeriodNs: 1_000_000},
+		{Name: "tiny-nbody-omp-deadline", Platform: "tiny-test", Workload: "nbody", Small: true,
+			Model: "omp", Strategy: "Rm", Reps: 2, Seed: 36,
+			DLRuntimeNs: 800_000, DLPeriodNs: 1_000_000},
 	}
 }
 
@@ -119,7 +142,8 @@ func (c goldenCase) spec(t *testing.T) Spec {
 		t.Fatal(err)
 	}
 	return Spec{Platform: p, Workload: w, Model: c.Model, Strategy: strat,
-		Seed: c.Seed, Tracing: c.Tracing}
+		Seed: c.Seed, Tracing: c.Tracing,
+		DLRuntime: sim.Time(c.DLRuntimeNs), DLPeriod: sim.Time(c.DLPeriodNs)}
 }
 
 // batchRunner returns a RunOnce equivalent that executes every run in a

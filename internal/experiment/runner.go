@@ -64,6 +64,12 @@ type Spec struct {
 	// OMP / SYCL override the runtime model configs (nil = defaults).
 	OMP  *omprt.Config
 	SYCL *syclrt.Config
+	// DLRuntime/DLPeriod, when positive, spawn every workload thread under
+	// SCHED_DEADLINE with this per-thread CBS reservation (runtime of CPU
+	// per period) — the deadline-class mitigation. Zero leaves threads in
+	// the fair class. Applied on top of OMP/SYCL config overrides.
+	DLRuntime sim.Time
+	DLPeriod  sim.Time
 	// Obs, when non-nil, attaches a passive observability recorder to the
 	// run (spans, flight ring, registry counters). Unlike Tracing it steals
 	// no simulated time: results are byte-identical with or without it.

@@ -298,6 +298,30 @@ func TestFleetByteIdenticalCluster(t *testing.T) {
 	}
 }
 
+// TestFleetByteIdenticalIODeadline: the same contract for an I/O-blocking
+// workload running under the SCHED_DEADLINE class — device wait queues,
+// completion IRQs, blocked-task wakeups, and CBS budget timers must shard
+// across the fleet exactly like pure compute.
+func TestFleetByteIdenticalIODeadline(t *testing.T) {
+	spec := service.JobSpec{
+		Platform: "tiny-test", Workload: "svcloop", Size: "small",
+		Model: "omp", Strategy: "Rm", Seed: 89, Reps: 9,
+		DLRuntimeNs: 400_000, DLPeriodNs: 1_000_000,
+	}
+	want := directPayload(t, spec)
+
+	f := newTestFleet(t, 3, service.Config{Workers: 2}, Config{})
+	st := submitFleet(t, f.coordTS, spec, http.StatusAccepted)
+	if final := f.watch.awaitTerminal(t, st.ID); final != service.StateDone {
+		got, _ := f.coord.Status(st.ID)
+		t.Fatalf("fleet io+deadline job: %s (%s)", final, got.Error)
+	}
+	got := fetchFleetResult(t, f.coordTS, st.ID)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("fleet payload differs from single-node run for the I/O+deadline job")
+	}
+}
+
 // TestFleetCacheHitZeroExecutions: a resubmitted spec executes zero reps —
 // first served by the coordinator's merged cache, then (on a fresh
 // coordinator over the same backends) by the backends' shard caches.

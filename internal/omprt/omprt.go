@@ -72,6 +72,13 @@ type Config struct {
 	DispatchOverhead sim.Time
 	// CostFactor scales every unit's cost (compiler/runtime efficiency).
 	CostFactor float64
+	// Policy is the scheduling class workload threads (master and workers)
+	// are spawned with; the zero value is SCHED_OTHER. PolicyDeadline
+	// additionally needs the per-thread CBS reservation below — the
+	// deadline-class mitigation runs every team thread under EDF.
+	Policy    cpusched.Policy
+	DLRuntime sim.Time
+	DLPeriod  sim.Time
 }
 
 // DefaultConfig returns the model constants used for the paper's OpenMP
@@ -135,16 +142,22 @@ func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel
 	// imperative path because it executes the arbitrary workload body.
 	for i := 1; i < plan.Threads; i++ {
 		w := s.SpawnProgram(cpusched.TaskSpec{
-			Name:     workerName(i),
-			Kind:     cpusched.KindWorkload,
-			Affinity: plan.AffinityOf(i),
+			Name:      workerName(i),
+			Kind:      cpusched.KindWorkload,
+			Affinity:  plan.AffinityOf(i),
+			Policy:    cfg.Policy,
+			DLRuntime: cfg.DLRuntime,
+			DLPeriod:  cfg.DLPeriod,
 		}, &workerProgram{t: t, id: i})
 		t.workers = append(t.workers, w)
 	}
 	t.master = s.Spawn(cpusched.TaskSpec{
-		Name:     "omp-master",
-		Kind:     cpusched.KindWorkload,
-		Affinity: plan.AffinityOf(0),
+		Name:      "omp-master",
+		Kind:      cpusched.KindWorkload,
+		Affinity:  plan.AffinityOf(0),
+		Policy:    cfg.Policy,
+		DLRuntime: cfg.DLRuntime,
+		DLPeriod:  cfg.DLPeriod,
 	}, func(ctx *cpusched.Ctx) {
 		t.masterCtx = ctx
 		body(t)
@@ -172,6 +185,12 @@ func (t *Team) MasterCompute(cycles float64) {
 // MasterMemory implements parmodel.Model.
 func (t *Team) MasterMemory(bytes float64) {
 	t.masterCtx.Memory(bytes * t.cfg.CostFactor)
+}
+
+// MasterBlockOn implements parmodel.Model. I/O volume is data, not work:
+// CostFactor does not apply.
+func (t *Team) MasterBlockOn(dev string, bytes float64) {
+	t.masterCtx.BlockOn(t.device(dev), bytes)
 }
 
 // ParallelFor implements parmodel.Model: one parallel region with an
@@ -218,6 +237,8 @@ type workerProgram struct {
 	state int
 	base  int     // next chunk base (static chunked schedule)
 	mem   float64 // memory half of the range whose compute was just yielded
+	io    float64 // I/O bytes of the current range (0 = no blocking phase)
+	iodev string  // device the I/O phase blocks on
 }
 
 const (
@@ -227,8 +248,22 @@ const (
 	wDispatch          // dynamic/guided: yield the per-chunk dispatch cost
 	wClaim             // dynamic/guided: claim a chunk, yield its compute
 	wMemory            // yield the memory half of the current range
+	wIO                // block on the range's device request (io > 0 only)
 	wEndBar            // arrive at the region end barrier
 )
+
+// afterUnit is the state following a completed work unit (compute + memory
+// + optional I/O): the next chunk of the current schedule, or the region
+// end barrier.
+func (w *workerProgram) afterUnit() int {
+	if w.t.cfg.Schedule == Static {
+		if w.t.cfg.Chunk <= 0 {
+			return wEndBar
+		}
+		return wStaticNext
+	}
+	return wDispatch
+}
 
 func (w *workerProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
 	t := w.t
@@ -247,8 +282,8 @@ func (w *workerProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
 					l := t.loop
 					lo := w.id * l.n / t.plan.Threads
 					hi := (w.id + 1) * l.n / t.plan.Threads
-					c, b := t.rangeCost(lo, hi)
-					w.mem = b
+					c, b, io, dev := t.rangeCost(lo, hi)
+					w.mem, w.io, w.iodev = b, io, dev
 					w.state = wMemory
 					return cpusched.ReqCompute(c), true
 				}
@@ -269,9 +304,9 @@ func (w *workerProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
 			if hi > l.n {
 				hi = l.n
 			}
-			c, b := t.rangeCost(w.base, hi)
+			c, b, io, dev := t.rangeCost(w.base, hi)
 			w.base += t.plan.Threads * t.cfg.Chunk
-			w.mem = b
+			w.mem, w.io, w.iodev = b, io, dev
 			w.state = wMemory
 			return cpusched.ReqCompute(c), true
 		case wDispatch:
@@ -293,23 +328,24 @@ func (w *workerProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
 				hi = l.n
 			}
 			l.next = hi
-			c, b := t.rangeCost(lo, hi)
-			w.mem = b
+			c, b, io, dev := t.rangeCost(lo, hi)
+			w.mem, w.io, w.iodev = b, io, dev
 			w.state = wMemory
 			return cpusched.ReqCompute(c), true
 		case wMemory:
 			b := w.mem
 			w.mem = 0
-			if t.cfg.Schedule == Static {
-				if t.cfg.Chunk <= 0 {
-					w.state = wEndBar
-				} else {
-					w.state = wStaticNext
-				}
+			if w.io > 0 {
+				w.state = wIO
 			} else {
-				w.state = wDispatch
+				w.state = w.afterUnit()
 			}
 			return cpusched.ReqMemory(b), true
+		case wIO:
+			io, dev := w.io, w.iodev
+			w.io, w.iodev = 0, ""
+			w.state = w.afterUnit()
+			return cpusched.ReqBlockOn(t.device(dev), io), true
 		case wEndBar:
 			w.state = wStartBar
 			return cpusched.ReqBarrier(t.endBar, t.cfg.ActiveWait), true
@@ -336,13 +372,22 @@ func (t *Team) claimSize(lo int) int {
 }
 
 // rangeCost sums and scales the cost of iterations [lo, hi).
-func (t *Team) rangeCost(lo, hi int) (cycles, bytes float64) {
+func (t *Team) rangeCost(lo, hi int) (cycles, bytes, ioBytes float64, ioDev string) {
 	var total parmodel.Cost
 	for i := lo; i < hi; i++ {
 		total = total.Add(t.loop.cost(i))
 	}
 	total = total.Scale(t.cfg.CostFactor)
-	return total.Cycles, total.Bytes
+	return total.Cycles, total.Bytes, total.IOBytes, total.IODev
+}
+
+// device resolves a workload-referenced device name on the scheduler.
+func (t *Team) device(name string) *cpusched.Device {
+	d := t.s.Device(name)
+	if d == nil {
+		panic(fmt.Sprintf("omprt: workload references unregistered device %q", name))
+	}
+	return d
 }
 
 // workerNames caches the recurring per-thread names: teams are rebuilt
@@ -442,7 +487,10 @@ func (t *Team) dispatchCost(ctx *cpusched.Ctx) {
 }
 
 func (t *Team) execRange(ctx *cpusched.Ctx, lo, hi int) {
-	c, b := t.rangeCost(lo, hi)
+	c, b, io, dev := t.rangeCost(lo, hi)
 	ctx.Compute(c)
 	ctx.Memory(b)
+	if io > 0 {
+		ctx.BlockOn(t.device(dev), io)
+	}
 }

@@ -6,19 +6,41 @@
 // synchronization style, and fixed runtime overheads.
 package parmodel
 
-// Cost is the machine demand of one work unit: CPU cycles and bytes of
-// memory traffic. Work units are coarse by design (a block of iterations,
-// a work-group), keeping the simulation event count tractable.
+// Cost is the machine demand of one work unit: CPU cycles, bytes of memory
+// traffic, and optionally a blocking I/O request. Work units are coarse by
+// design (a block of iterations, a work-group, one service request),
+// keeping the simulation event count tractable.
 type Cost struct {
 	Cycles float64
 	Bytes  float64
+	// IOBytes, when positive, blocks the executing thread on the device
+	// named by IODev after the unit's compute and memory phases complete
+	// (cpusched BlockOn). The device must be registered on the scheduler
+	// before the workload runs (workloads declare theirs via the
+	// workloads.IOWorkload interface). Zero means a CPU-bound unit.
+	IOBytes float64
+	IODev   string
 }
 
-// Add returns the sum of two costs.
-func (c Cost) Add(o Cost) Cost { return Cost{c.Cycles + o.Cycles, c.Bytes + o.Bytes} }
+// Add returns the sum of two costs. I/O requests to the same device merge
+// by volume; when only one side names a device, that name wins (work units
+// aggregated into one chunk issue a single combined request, mirroring
+// request coalescing in a real block layer).
+func (c Cost) Add(o Cost) Cost {
+	dev := c.IODev
+	if dev == "" {
+		dev = o.IODev
+	}
+	return Cost{c.Cycles + o.Cycles, c.Bytes + o.Bytes, c.IOBytes + o.IOBytes, dev}
+}
 
-// Scale returns the cost multiplied by f.
-func (c Cost) Scale(f float64) Cost { return Cost{c.Cycles * f, c.Bytes * f} }
+// Scale returns the cost with CPU and memory demands multiplied by f. I/O
+// volume is data, not work: runtime efficiency factors (omprt/syclrt
+// CostFactor) change how fast a unit computes, not how many bytes it must
+// move through a device, so IOBytes is deliberately left unscaled.
+func (c Cost) Scale(f float64) Cost {
+	return Cost{c.Cycles * f, c.Bytes * f, c.IOBytes, c.IODev}
+}
 
 // Model is a parallel runtime executing work on the simulated machine. All
 // methods must be called from the workload body function passed to the
@@ -32,6 +54,12 @@ type Model interface {
 	MasterCompute(cycles float64)
 	// MasterMemory streams bytes on the master/host thread.
 	MasterMemory(bytes float64)
+	// MasterBlockOn blocks the master/host thread on a request of the
+	// given volume to the named device (fsync, synchronous read). Zero
+	// bytes still blocks for the device's latency — an fsync barrier. The
+	// device must be registered before the workload runs; referencing an
+	// unregistered name panics.
+	MasterBlockOn(dev string, bytes float64)
 	// Threads returns the team/worker-pool size.
 	Threads() int
 	// Name identifies the runtime ("omp" or "sycl").

@@ -96,6 +96,12 @@ func (p *Platform) WorkloadSpec(name string) (workloads.Workload, error) {
 			s.N = 1536
 		}
 		return s, nil
+	case "svcloop":
+		s := workloads.DefaultSvcLoopSpec()
+		return s, nil
+	case "logwriter":
+		s := workloads.DefaultLogWriterSpec()
+		return s, nil
 	default:
 		return nil, fmt.Errorf("platform: unknown workload %q", name)
 	}

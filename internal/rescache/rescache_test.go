@@ -289,6 +289,76 @@ func TestCanceledLeaderWaiterRetries(t *testing.T) {
 	}
 }
 
+// TestRepeatedLeaderCancellationStress kills not one but a chain of
+// successive leaders: each newly elected computer cancels its own context
+// mid-compute until several have died, and only then does a leader finish.
+// The retry loop must re-elect through every failure without orphaning a
+// waiter, double-running a live compute, or caching a canceled result.
+type cancelKeyType struct{}
+
+func TestRepeatedLeaderCancellationStress(t *testing.T) {
+	const (
+		goroutines      = 32
+		leadersToCancel = 5
+	)
+	c, _ := New(t.TempDir(), 8)
+	var attempts atomic.Int64
+	payload := []byte("survivor")
+
+	var wg sync.WaitGroup
+	var okCount, canceledCount atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// The compute callback receives the computing caller's own
+			// context; smuggle that caller's cancel func alongside so the
+			// elected leader can kill itself mid-flight.
+			ctx = context.WithValue(ctx, cancelKeyType{}, cancel)
+			data, _, err := c.GetOrCompute(ctx, key(7),
+				func(ctx context.Context) ([]byte, error) {
+					if attempts.Add(1) <= leadersToCancel {
+						ctx.Value(cancelKeyType{}).(context.CancelFunc)()
+						<-ctx.Done()
+						return nil, ctx.Err()
+					}
+					return payload, nil
+				})
+			switch {
+			case err == nil:
+				if string(data) != string(payload) {
+					t.Errorf("got %q, want %q", data, payload)
+				}
+				okCount.Add(1)
+			case context.Cause(ctx) != nil:
+				canceledCount.Add(1) // this goroutine was a sacrificed leader
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := canceledCount.Load(); got != leadersToCancel {
+		t.Fatalf("%d callers died as canceled leaders, want %d", got, leadersToCancel)
+	}
+	if got := okCount.Load(); got != goroutines-leadersToCancel {
+		t.Fatalf("%d callers served, want %d", got, goroutines-leadersToCancel)
+	}
+	// One compute per leader election: five sacrifices then a survivor.
+	// (A caller that misses the cache in the instant before the survivor's
+	// Put may legally be elected once more — singleflight dedups concurrent
+	// computes, it does not promise exactly-once — so bound, don't pin.)
+	if got := c.Stats().Computes; got < leadersToCancel+1 || got > leadersToCancel+3 {
+		t.Fatalf("computes = %d, want ~%d", got, leadersToCancel+1)
+	}
+	if data, ok := c.Get(key(7)); !ok || string(data) != string(payload) {
+		t.Fatalf("cache should hold the survivor's payload, got %q ok=%v", data, ok)
+	}
+}
+
 // TestManyKeysConcurrent exercises eviction + disk + flights under the race
 // detector.
 func TestManyKeysConcurrent(t *testing.T) {

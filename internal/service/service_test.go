@@ -556,6 +556,44 @@ func TestResultDeterminismMatchesDirectRun(t *testing.T) {
 	}
 }
 
+// TestResultDeterminismIODeadline pins the same direct-vs-daemon contract
+// for an I/O-blocking workload running under the SCHED_DEADLINE class:
+// device wait queues, IRQ wakeups and CBS throttling must replay
+// identically through the service's parallel executor.
+func TestResultDeterminismIODeadline(t *testing.T) {
+	_, ts, w := newTestServer(t, Config{Parallelism: 3})
+	spec := JobSpec{
+		Platform: "tiny-test", Workload: "svcloop", Size: "small",
+		Model: "omp", Strategy: "Rm", Seed: 91, Reps: 7,
+		DLRuntimeNs: 400_000, DLPeriodNs: 1_000_000,
+	}
+	st := waitTerminal(t, ts, w, submit(t, ts, spec, http.StatusAccepted).ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (err %q), want done", st.State, st.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(fetchResult(t, ts, st.ID), &res); err != nil {
+		t.Fatal(err)
+	}
+
+	resolved, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, _, err := execDirect(resolved, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(res.TimesNs) {
+		t.Fatalf("len %d vs %d", len(times), len(res.TimesNs))
+	}
+	for i := range times {
+		if int64(times[i]) != res.TimesNs[i] {
+			t.Fatalf("rep %d: direct %d != served %d", i, times[i], res.TimesNs[i])
+		}
+	}
+}
+
 // execDirect runs the resolved spec sequentially on the executor,
 // bypassing the service entirely.
 func execDirect(spec experiment.Spec, reps int) ([]sim.Time, []*trace.Trace, error) {

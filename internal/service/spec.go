@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/mitigate"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -62,6 +63,12 @@ type JobSpec struct {
 	// is passive, so the result payload is unaffected; the field still
 	// participates in the spec hash (omitempty keeps legacy hashes stable).
 	Timeline bool `json:"timeline,omitempty"`
+	// DLRuntimeNs/DLPeriodNs, when positive, run every workload thread
+	// under SCHED_DEADLINE with this per-thread CBS reservation — the
+	// deadline-class mitigation. Both must be set together, with
+	// runtime <= period (omitempty keeps legacy hashes stable).
+	DLRuntimeNs int64 `json:"dl_runtime_ns,omitempty"`
+	DLPeriodNs  int64 `json:"dl_period_ns,omitempty"`
 	// Cluster, when non-nil, makes this a simulated-datacenter job: Reps
 	// cluster runs of the embedded scenario instead of a single-node series.
 	// The single-node fields (platform, workload, model, strategy, and the
@@ -147,6 +154,26 @@ func (s *JobSpec) Validate(maxReps int) error {
 			return fmt.Errorf("service: inject config: %w", err)
 		}
 	}
+	if err := s.validateDeadline(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateDeadline checks the SCHED_DEADLINE reservation fields: both set
+// or both zero, positive, and runtime within the period.
+func (s *JobSpec) validateDeadline() error {
+	if s.DLRuntimeNs == 0 && s.DLPeriodNs == 0 {
+		return nil
+	}
+	if s.DLRuntimeNs <= 0 || s.DLPeriodNs <= 0 {
+		return fmt.Errorf("service: dl_runtime_ns (%d) and dl_period_ns (%d) must both be positive when either is set",
+			s.DLRuntimeNs, s.DLPeriodNs)
+	}
+	if s.DLRuntimeNs > s.DLPeriodNs {
+		return fmt.Errorf("service: dl_runtime_ns %d exceeds dl_period_ns %d",
+			s.DLRuntimeNs, s.DLPeriodNs)
+	}
 	return nil
 }
 
@@ -159,6 +186,9 @@ func (s *JobSpec) validateCluster(maxReps int) error {
 	}
 	if s.Tracing || s.Runlevel3 || s.PinInjectors || s.Inject != nil || s.NoiseScale != 0 {
 		return fmt.Errorf("service: cluster jobs must not set tracing, runlevel3, pin_injectors, inject or noise_scale (the cluster spec has its own noise knobs)")
+	}
+	if s.DLRuntimeNs != 0 || s.DLPeriodNs != 0 {
+		return fmt.Errorf("service: cluster jobs must not set dl_runtime_ns or dl_period_ns")
 	}
 	if err := s.Cluster.Validate(); err != nil {
 		return fmt.Errorf("service: %w", err)
@@ -182,8 +212,9 @@ func (s *JobSpec) validateAnalyze(maxReps int) error {
 		return fmt.Errorf("service: analysis jobs must not set platform, workload, model, strategy or size (the analysis spec has its own)")
 	}
 	if s.Reps != 0 || s.Seed != 0 || s.Tracing || s.Runlevel3 || s.PinInjectors ||
-		s.Inject != nil || s.NoiseScale != 0 || s.Timeline || s.Cluster != nil {
-		return fmt.Errorf("service: analysis jobs must not set reps, seed, tracing, runlevel3, pin_injectors, inject, noise_scale, timeline or cluster (the analysis spec has its own)")
+		s.Inject != nil || s.NoiseScale != 0 || s.Timeline || s.Cluster != nil ||
+		s.DLRuntimeNs != 0 || s.DLPeriodNs != 0 {
+		return fmt.Errorf("service: analysis jobs must not set reps, seed, tracing, runlevel3, pin_injectors, inject, noise_scale, timeline, cluster or deadline fields (the analysis spec has its own)")
 	}
 	if err := s.Analyze.Validate(maxReps); err != nil {
 		return fmt.Errorf("service: %w", err)
@@ -229,6 +260,7 @@ func (s *JobSpec) Resolve() (experiment.Spec, error) {
 		Seed: s.Seed, Tracing: s.Tracing, Inject: s.Inject,
 		PinInjectors: s.PinInjectors, NoiseScale: s.NoiseScale,
 		Runlevel3: s.Runlevel3,
+		DLRuntime: sim.Time(s.DLRuntimeNs), DLPeriod: sim.Time(s.DLPeriodNs),
 	}, nil
 }
 

@@ -43,6 +43,7 @@ func TestSpecHashSensitivity(t *testing.T) {
 		"platform":  func(s *JobSpec) { s.Platform = "intel-9700kf" },
 		"size":      func(s *JobSpec) { s.Size = "small" },
 		"pin":       func(s *JobSpec) { s.PinInjectors = true },
+		"deadline":  func(s *JobSpec) { s.DLRuntimeNs, s.DLPeriodNs = 400_000, 1_000_000 },
 	}
 	for name, mutate := range mutations {
 		m := base
@@ -54,6 +55,43 @@ func TestSpecHashSensitivity(t *testing.T) {
 		if h == h0 {
 			t.Errorf("mutating %s did not change the hash", name)
 		}
+	}
+}
+
+func TestValidateDeadlineFields(t *testing.T) {
+	base := JobSpec{Platform: "tiny-test", Workload: "svcloop", Size: "small",
+		Model: "omp", Strategy: "Rm", Seed: 1, Reps: 1}
+	cases := []struct {
+		name            string
+		runtime, period int64
+		ok              bool
+	}{
+		{"both-zero", 0, 0, true},
+		{"valid", 400_000, 1_000_000, true},
+		{"runtime-equals-period", 1_000_000, 1_000_000, true},
+		{"runtime-only", 400_000, 0, false},
+		{"period-only", 0, 1_000_000, false},
+		{"runtime-exceeds-period", 2_000_000, 1_000_000, false},
+		{"negative-runtime", -1, 1_000_000, false},
+		{"negative-period", 400_000, -1, false},
+	}
+	for _, c := range cases {
+		s := base
+		s.DLRuntimeNs, s.DLPeriodNs = c.runtime, c.period
+		err := s.Validate(0)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: want validation error", c.name)
+		}
+	}
+	// Cluster jobs own their scheduling knobs; deadline fields on them are
+	// rejected like the other single-node fields.
+	cl := tinyClusterSpec(1, 1)
+	cl.DLRuntimeNs, cl.DLPeriodNs = 400_000, 1_000_000
+	if cl.Validate(0) == nil {
+		t.Error("cluster job with deadline fields should fail validation")
 	}
 }
 

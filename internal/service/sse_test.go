@@ -217,6 +217,67 @@ func TestSSESnapshotAfterEviction(t *testing.T) {
 	}
 }
 
+// TestEventLogResumeAtEvictionBoundary probes EventLog.next exactly at the
+// ring-eviction edge. With oldest the ID of the first retained event, a
+// client at after == oldest-1 has missed nothing that is still buffered and
+// must get a plain replay of the whole ring; only after <= oldest-2 has
+// truly lost history and falls back to the snapshot. An off-by-one in
+// either direction would silently replay stale events or synthesize
+// snapshots for clients that never lost data.
+func TestEventLogResumeAtEvictionBoundary(t *testing.T) {
+	l := NewEventLog(4)
+	l.PublishState(StateRunning) // ID 1
+	for i := 1; i <= 8; i++ {    // IDs 2..9
+		l.PublishProgress(i, 8)
+	}
+	// seq == 9; the 4-slot ring retains IDs 6..9, so oldest == 6.
+	const oldest = 6
+
+	cases := []struct {
+		name     string
+		after    uint64
+		wantIDs  []uint64
+		snapshot bool
+	}{
+		{"well-before-window", 0, []uint64{8, 9}, true},
+		{"oldest-minus-2", oldest - 2, []uint64{8, 9}, true},
+		{"oldest-minus-1", oldest - 1, []uint64{6, 7, 8, 9}, false},
+		{"oldest", oldest, []uint64{7, 8, 9}, false},
+		{"mid-window", 8, []uint64{9}, false},
+		{"caught-up", 9, nil, false},
+		{"beyond-head", 12, nil, false},
+	}
+	for _, c := range cases {
+		evs, _, finished := l.next(c.after)
+		ids := make([]uint64, 0, len(evs))
+		for _, e := range evs {
+			ids = append(ids, e.ID)
+		}
+		if len(ids) != len(c.wantIDs) {
+			t.Fatalf("%s: got IDs %v, want %v", c.name, ids, c.wantIDs)
+		}
+		for i := range ids {
+			if ids[i] != c.wantIDs[i] {
+				t.Fatalf("%s: got IDs %v, want %v", c.name, ids, c.wantIDs)
+			}
+		}
+		if finished {
+			t.Fatalf("%s: stream reported finished before terminal state", c.name)
+		}
+		if c.snapshot {
+			// The snapshot carries current progress (8/8), not the stale
+			// counts the evicted events held, and IDs at the stream head.
+			var p struct{ Done, Total int }
+			if err := json.Unmarshal([]byte(evs[0].Data), &p); err != nil || p.Done != 8 {
+				t.Fatalf("%s: snapshot progress %q, want done=8", c.name, evs[0].Data)
+			}
+			if evs[0].Type != "progress" || evs[1].Type != "state" {
+				t.Fatalf("%s: snapshot shape %+v", c.name, evs)
+			}
+		}
+	}
+}
+
 // TestSSETerminalAtSubscribe: subscribing to a finished job replays the ring
 // and closes immediately after the terminal event.
 func TestSSETerminalAtSubscribe(t *testing.T) {

@@ -86,6 +86,13 @@ func LinearFit(xs, ys []float64) (LinFit, error) {
 	}
 	b := sxy / sxx
 	a := my - b*mx
+	// A subnormal-but-nonzero sxx (x values distinct by less than ~1e-154)
+	// slips past the == 0 guard and overflows the quotient: the x spread is
+	// numerically indistinguishable from a vertical line, so reject it the
+	// same way instead of returning an infinite slope.
+	if math.IsInf(b, 0) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsNaN(a) {
+		return LinFit{}, fmt.Errorf("stats: linear fit: x-variance %g too small to resolve a finite slope", sxx)
+	}
 	var ssRes, ssTot float64
 	for i := 0; i < n; i++ {
 		r := ys[i] - (a + b*xs[i])

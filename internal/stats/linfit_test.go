@@ -56,6 +56,11 @@ func TestLinearFitHostileInput(t *testing.T) {
 		{"length-mismatch", []float64{1, 2}, []float64{1}},
 		{"zero-x-variance", []float64{2, 2, 2}, []float64{1, 2, 3}},
 		{"two-identical-points", []float64{5, 5}, []float64{7, 7}},
+		// Subnormal-but-nonzero x-variance sneaks past an sxx == 0 guard,
+		// then sxy/sxx overflows: before the finiteness guard this returned
+		// a fit with Slope = +Inf instead of an error.
+		{"subnormal-x-variance", []float64{0, 1e-160}, []float64{0, 1e160}},
+		{"duplicate-x-overflow", []float64{1e-160, 1e-160, 2e-160}, []float64{0, 1e160, 2e160}},
 		{"nan-x", []float64{1, math.NaN(), 3}, []float64{1, 2, 3}},
 		{"nan-y", []float64{1, 2, 3}, []float64{1, math.NaN(), 3}},
 		{"inf-x", []float64{1, math.Inf(1), 3}, []float64{1, 2, 3}},

@@ -33,6 +33,13 @@ type Config struct {
 	// ActiveWait spins workers between work-groups of an active kernel;
 	// the pool parks passively between kernels either way.
 	ActiveWait bool
+	// Policy is the scheduling class pool threads (host and workers) are
+	// spawned with; the zero value is SCHED_OTHER. PolicyDeadline
+	// additionally needs the per-thread CBS reservation below — the
+	// deadline-class mitigation runs every pool thread under EDF.
+	Policy    cpusched.Policy
+	DLRuntime sim.Time
+	DLPeriod  sim.Time
 }
 
 // DefaultConfig returns the model constants used for the paper's SYCL runs.
@@ -97,16 +104,22 @@ func Start(s *cpusched.Scheduler, plan *mitigate.Plan, cfg Config, body parmodel
 	// arbitrary workload body.
 	for i := 1; i < plan.Threads; i++ {
 		w := s.SpawnProgram(cpusched.TaskSpec{
-			Name:     workerName(i),
-			Kind:     cpusched.KindWorkload,
-			Affinity: plan.AffinityOf(i),
+			Name:      workerName(i),
+			Kind:      cpusched.KindWorkload,
+			Affinity:  plan.AffinityOf(i),
+			Policy:    cfg.Policy,
+			DLRuntime: cfg.DLRuntime,
+			DLPeriod:  cfg.DLPeriod,
 		}, &poolProgram{q: q})
 		q.workers = append(q.workers, w)
 	}
 	q.host = s.Spawn(cpusched.TaskSpec{
-		Name:     "sycl-host",
-		Kind:     cpusched.KindWorkload,
-		Affinity: plan.AffinityOf(0),
+		Name:      "sycl-host",
+		Kind:      cpusched.KindWorkload,
+		Affinity:  plan.AffinityOf(0),
+		Policy:    cfg.Policy,
+		DLRuntime: cfg.DLRuntime,
+		DLPeriod:  cfg.DLPeriod,
 	}, func(ctx *cpusched.Ctx) {
 		q.hostCtx = ctx
 		body(q)
@@ -134,6 +147,12 @@ func (q *Queue) MasterCompute(cycles float64) {
 // MasterMemory implements parmodel.Model.
 func (q *Queue) MasterMemory(bytes float64) {
 	q.hostCtx.Memory(bytes * q.cfg.CostFactor)
+}
+
+// MasterBlockOn implements parmodel.Model. I/O volume is data, not work:
+// CostFactor does not apply.
+func (q *Queue) MasterBlockOn(dev string, bytes float64) {
+	q.hostCtx.BlockOn(q.device(dev), bytes)
 }
 
 // ParallelFor implements parmodel.Model: submit one kernel and wait for it
@@ -177,6 +196,8 @@ type poolProgram struct {
 	q     *Queue
 	state int
 	mem   float64 // memory half of the work-group whose compute was yielded
+	io    float64 // I/O bytes of the work-group (0 = no blocking phase)
+	iodev string  // device the I/O phase blocks on
 }
 
 const (
@@ -185,6 +206,7 @@ const (
 	pDispatch         // yield the per-work-group dispatch cost
 	pClaim            // claim a work-group, yield its compute
 	pMemory           // yield the memory half of the current work-group
+	pIO               // block on the work-group's device request (io > 0 only)
 	pDoneBar          // arrive at the kernel end barrier
 )
 
@@ -218,15 +240,24 @@ func (p *poolProgram) Next(*cpusched.Task) (cpusched.Request, bool) {
 				hi = k.n
 			}
 			k.next = hi
-			c, b := q.groupCost(lo, hi)
-			p.mem = b
+			c, b, io, dev := q.groupCost(lo, hi)
+			p.mem, p.io, p.iodev = b, io, dev
 			p.state = pMemory
 			return cpusched.ReqCompute(c), true
 		case pMemory:
 			b := p.mem
 			p.mem = 0
-			p.state = pDispatch
+			if p.io > 0 {
+				p.state = pIO
+			} else {
+				p.state = pDispatch
+			}
 			return cpusched.ReqMemory(b), true
+		case pIO:
+			io, dev := p.io, p.iodev
+			p.io, p.iodev = 0, ""
+			p.state = pDispatch
+			return cpusched.ReqBlockOn(q.device(dev), io), true
 		case pDoneBar:
 			p.state = pKernelBar
 			return cpusched.ReqBarrier(q.doneBar, q.cfg.ActiveWait), true
@@ -258,20 +289,32 @@ func (q *Queue) runWorkGroups(ctx *cpusched.Ctx) {
 			hi = k.n
 		}
 		k.next = hi
-		c, b := q.groupCost(lo, hi)
+		c, b, io, dev := q.groupCost(lo, hi)
 		ctx.Compute(c)
 		ctx.Memory(b)
+		if io > 0 {
+			ctx.BlockOn(q.device(dev), io)
+		}
 	}
 }
 
 // groupCost sums and scales the cost of work units [lo, hi).
-func (q *Queue) groupCost(lo, hi int) (cycles, bytes float64) {
+func (q *Queue) groupCost(lo, hi int) (cycles, bytes, ioBytes float64, ioDev string) {
 	var total parmodel.Cost
 	for i := lo; i < hi; i++ {
 		total = total.Add(q.kern.cost(i))
 	}
 	total = total.Scale(q.cfg.CostFactor)
-	return total.Cycles, total.Bytes
+	return total.Cycles, total.Bytes, total.IOBytes, total.IODev
+}
+
+// device resolves a workload-referenced device name on the scheduler.
+func (q *Queue) device(name string) *cpusched.Device {
+	d := q.s.Device(name)
+	if d == nil {
+		panic(fmt.Sprintf("syclrt: workload references unregistered device %q", name))
+	}
+	return d
 }
 
 // workerNames caches the recurring per-thread names: queues are rebuilt

@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"repro/internal/cpusched"
+	"repro/internal/parmodel"
+	"repro/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// I/O-bound workloads. Unlike the CPU-bound benchmarks, these spend much of
+// their critical path blocked on simulated devices, so their noise
+// sensitivity is dominated by the interrupt path: a device completion IRQ
+// delayed behind injected IRQ/softirq noise delays the wakeup of the
+// blocked thread directly, where a CPU-bound kernel merely loses the noise
+// handler's occupancy. The analyze command should therefore rank irq/softirq
+// sensitivity differently for these than for nbody/babelstream/minife.
+// ---------------------------------------------------------------------------
+
+// Device names the I/O workloads block on. The experiment layer registers
+// each spec's Devices() on the scheduler before the workload runs.
+const (
+	svcLoopDevice   = "nic0"
+	logWriterDevice = "disk0"
+)
+
+// SvcLoopSpec is a request/response service loop: Outer rounds of a
+// parallel loop over Requests work units, each unit parsing and handling
+// one request (compute + memory) and then blocking on the NIC to send its
+// response. Units aggregated into one runtime chunk coalesce their
+// responses into a single combined NIC request (parmodel.Cost.Add's
+// request-coalescing rule — a vectored send), so under a static schedule
+// each thread blocks once per round on its range's combined volume, and
+// finer chunking trades larger event counts for more frequent block/wake
+// cycles. Either way every round ends with all threads blocked on the
+// serial NIC: completion-IRQ latency, not raw compute, paces the loop.
+type SvcLoopSpec struct {
+	// Outer is the number of service rounds (parallel regions).
+	Outer int
+	// Requests is the number of requests per round (work units).
+	Requests int
+	// CyclesPerReq is the request-handling compute cost.
+	CyclesPerReq float64
+	// BytesPerReq is the request-handling memory traffic.
+	BytesPerReq float64
+	// IOBytesPerReq is the response volume written to the NIC per request.
+	IOBytesPerReq float64
+	// Imbalance ramps response size: request i moves
+	// IOBytesPerReq * (1 + Imbalance*i/Requests) bytes.
+	Imbalance float64
+	// NICLatency and NICBytesPerNs parameterize the simulated NIC.
+	NICLatency    sim.Time
+	NICBytesPerNs float64
+	// SYCLFactor is the per-workload runtime efficiency gap (compute only;
+	// I/O volume is data and does not scale).
+	SYCLFactor float64
+}
+
+// DefaultSvcLoopSpec returns a configuration whose rounds are NIC-bound:
+// the per-request service time (latency + transfer) exceeds the per-request
+// compute, so the device queue paces the loop.
+func DefaultSvcLoopSpec() SvcLoopSpec {
+	return SvcLoopSpec{
+		Outer:         30,
+		Requests:      256,
+		CyclesPerReq:  50e3,
+		BytesPerReq:   16 << 10,
+		IOBytesPerReq: 16 << 10,
+		Imbalance:     0.5,
+		NICLatency:    20 * sim.Microsecond,
+		NICBytesPerNs: 10, // 10 GB/s
+		SYCLFactor:    1.0,
+	}
+}
+
+// Name implements Workload.
+func (s SvcLoopSpec) Name() string { return "svcloop" }
+
+// Devices implements IOWorkload.
+func (s SvcLoopSpec) Devices() []cpusched.DeviceSpec {
+	return []cpusched.DeviceSpec{{
+		Name:       svcLoopDevice,
+		Latency:    s.NICLatency,
+		BytesPerNs: s.NICBytesPerNs,
+	}}
+}
+
+// Body implements Workload.
+func (s SvcLoopSpec) Body() parmodel.Body {
+	return func(m parmodel.Model) {
+		f := syclScale(m, s.SYCLFactor)
+		for o := 0; o < s.Outer; o++ {
+			m.ParallelFor(s.Requests, func(i int) parmodel.Cost {
+				io := s.IOBytesPerReq * (1 + s.Imbalance*float64(i)/float64(s.Requests))
+				return parmodel.Cost{
+					Cycles:  s.CyclesPerReq * f,
+					Bytes:   s.BytesPerReq,
+					IOBytes: io,
+					IODev:   svcLoopDevice,
+				}
+			})
+		}
+	}
+}
+
+// LogWriterSpec is a log writer with fsync phases: each batch formats
+// Records log records in parallel (compute + memory), then the master
+// thread writes the batch to disk and issues an fsync — modeled as a
+// blocking write of the batch volume followed by a zero-byte flush barrier
+// that costs the device's full latency again. The fsync sits on the
+// critical path of every batch, serially, on one thread: a single delayed
+// completion IRQ stalls the whole pipeline.
+type LogWriterSpec struct {
+	// Outer is the number of batches.
+	Outer int
+	// Records is the number of log records per batch (work units).
+	Records int
+	// CyclesPerRec is the record-formatting compute cost.
+	CyclesPerRec float64
+	// BytesPerRec is the record size; the batch write moves
+	// Records * BytesPerRec bytes.
+	BytesPerRec float64
+	// DiskLatency and DiskBytesPerNs parameterize the simulated disk.
+	DiskLatency    sim.Time
+	DiskBytesPerNs float64
+	// SYCLFactor is the per-workload runtime efficiency gap (compute only).
+	SYCLFactor float64
+}
+
+// DefaultLogWriterSpec returns a configuration where the write+fsync pair
+// is comparable to the batch's parallel formatting time, so device latency
+// variance shows directly in run time.
+func DefaultLogWriterSpec() LogWriterSpec {
+	return LogWriterSpec{
+		Outer:          40,
+		Records:        512,
+		CyclesPerRec:   120e3,
+		BytesPerRec:    4 << 10,
+		DiskLatency:    100 * sim.Microsecond,
+		DiskBytesPerNs: 2, // 2 GB/s
+		SYCLFactor:     1.0,
+	}
+}
+
+// Name implements Workload.
+func (s LogWriterSpec) Name() string { return "logwriter" }
+
+// Devices implements IOWorkload.
+func (s LogWriterSpec) Devices() []cpusched.DeviceSpec {
+	return []cpusched.DeviceSpec{{
+		Name:       logWriterDevice,
+		Latency:    s.DiskLatency,
+		BytesPerNs: s.DiskBytesPerNs,
+	}}
+}
+
+// Body implements Workload.
+func (s LogWriterSpec) Body() parmodel.Body {
+	return func(m parmodel.Model) {
+		f := syclScale(m, s.SYCLFactor)
+		batch := float64(s.Records) * s.BytesPerRec
+		for o := 0; o < s.Outer; o++ {
+			m.ParallelFor(s.Records, func(i int) parmodel.Cost {
+				return parmodel.Cost{
+					Cycles: s.CyclesPerRec * f,
+					Bytes:  s.BytesPerRec,
+				}
+			})
+			// write() of the batch, then fsync() — a latency-only barrier
+			// that completes when the device reports the data durable.
+			m.MasterBlockOn(logWriterDevice, batch)
+			m.MasterBlockOn(logWriterDevice, 0)
+		}
+	}
+}

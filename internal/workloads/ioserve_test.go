@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIOWorkloadsDeclareDevices(t *testing.T) {
+	cases := []struct {
+		w    IOWorkload
+		dev  string
+		name string
+	}{
+		{DefaultSvcLoopSpec(), svcLoopDevice, "svcloop"},
+		{DefaultLogWriterSpec(), logWriterDevice, "logwriter"},
+	}
+	for _, c := range cases {
+		devs := c.w.Devices()
+		if len(devs) != 1 || devs[0].Name != c.dev {
+			t.Fatalf("%s: devices %+v, want one named %q", c.name, devs, c.dev)
+		}
+		if devs[0].Latency <= 0 || devs[0].BytesPerNs <= 0 {
+			t.Fatalf("%s: device %+v must have positive latency and bandwidth", c.name, devs[0])
+		}
+	}
+}
+
+// TestSvcLoopDeviceBound: the service loop's run time is dominated by the
+// serial NIC, so doubling device latency moves run time far more than the
+// same simulation with a faster NIC would suggest from compute alone.
+func TestSvcLoopDeviceBound(t *testing.T) {
+	base, _ := ByName("svcloop", "small")
+	slow := base.(SvcLoopSpec)
+	slow.NICLatency *= 2
+	tBase := runModel(t, base, "omp")
+	tSlow := runModel(t, slow, "omp")
+	if tSlow <= tBase {
+		t.Fatalf("doubled NIC latency: %v should exceed %v", tSlow, tBase)
+	}
+	// Under the default static schedule each of the 4 team threads
+	// (TinyTest under TP) coalesces its range into one NIC request per
+	// round; the requests serialize on the device, so every round stretches
+	// by ~4x the added latency. Require at least 3x to leave slack.
+	sp := base.(SvcLoopSpec)
+	minDelta := sim.Time(sp.Outer) * 3 * (slow.NICLatency - sp.NICLatency)
+	if tSlow-tBase < minDelta {
+		t.Fatalf("latency delta %v too small for a device-bound loop (want >= %v)",
+			tSlow-tBase, minDelta)
+	}
+}
+
+// TestLogWriterFsyncOnCriticalPath: each batch pays the disk latency at
+// least twice (write + fsync barrier), serially on the master.
+func TestLogWriterFsyncOnCriticalPath(t *testing.T) {
+	w, _ := ByName("logwriter", "small")
+	spec := w.(LogWriterSpec)
+	got := runModel(t, spec, "omp")
+	floor := sim.Time(spec.Outer) * 2 * spec.DiskLatency
+	if got < floor {
+		t.Fatalf("run time %v below the fsync floor %v", got, floor)
+	}
+}

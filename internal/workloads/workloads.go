@@ -19,16 +19,27 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/cpusched"
 	"repro/internal/parmodel"
 )
 
 // Workload is a named simulation cost model.
 type Workload interface {
 	// Name returns the workload's short name ("nbody", "babelstream",
-	// "minife", "schedbench").
+	// "minife", "schedbench", "svcloop", "logwriter").
 	Name() string
 	// Body returns the workload body to run against a runtime model.
 	Body() parmodel.Body
+}
+
+// IOWorkload is implemented by workloads that block on simulated devices.
+// The experiment layer registers the declared devices on the scheduler
+// before the workload starts; a body referencing an undeclared device name
+// panics at run time.
+type IOWorkload interface {
+	Workload
+	// Devices lists the devices the workload blocks on.
+	Devices() []cpusched.DeviceSpec
 }
 
 // syclScale returns the per-workload cost multiplier for the given model.
@@ -83,10 +94,26 @@ func ByName(name string, size string) (Workload, error) {
 			s.Outer = 10
 		}
 		return s, nil
+	case "svcloop":
+		s := DefaultSvcLoopSpec()
+		if small {
+			s.Outer = 8
+			s.Requests = 64
+		}
+		return s, nil
+	case "logwriter":
+		s := DefaultLogWriterSpec()
+		if small {
+			s.Outer = 10
+			s.Records = 128
+		}
+		return s, nil
 	default:
 		return nil, fmt.Errorf("workloads: unknown workload %q", name)
 	}
 }
 
 // Names lists the available workloads.
-func Names() []string { return []string{"nbody", "babelstream", "minife", "schedbench"} }
+func Names() []string {
+	return []string{"nbody", "babelstream", "minife", "schedbench", "svcloop", "logwriter"}
+}

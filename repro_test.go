@@ -15,7 +15,7 @@ func TestFacadePlatformsAndWorkloads(t *testing.T) {
 	if len(PlatformNames()) != 4 {
 		t.Fatalf("platforms: %v", PlatformNames())
 	}
-	if len(WorkloadNames()) != 4 {
+	if len(WorkloadNames()) != 6 {
 		t.Fatalf("workloads: %v", WorkloadNames())
 	}
 	for _, name := range PlatformNames() {
